@@ -1,0 +1,82 @@
+"""Figure 11 — redundancy buckets with vs without nulls over ncvoter
+fragments.
+
+The paper compares, across growing ncvoter fragments, how many FDs
+cause up to a given number of redundancies when null occurrences are
+counted (blue) vs when LHS/RHS nulls are excluded (orange), plus the
+time to determine them.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.algorithms import make_algorithm
+from repro.bench.tables import format_table
+from repro.covers.canonical import canonical_cover
+from repro.datasets.benchmarks import load_benchmark
+from repro.partitions.cache import PartitionCache
+from repro.ranking.ranker import redundancy_histogram
+from repro.ranking.redundancy import NullPolicy, count_redundant
+
+from _utils import TIME_LIMIT, pick, write_artifact
+
+FRAGMENTS = pick(
+    smoke=[120],
+    quick=[250, 500, 1000],
+    full=[500, 1000, 2000, 4000],
+)
+
+_blocks = []
+
+
+@pytest.mark.parametrize("n_rows", FRAGMENTS)
+def test_fig11_fragment(n_rows, benchmark):
+    relation = load_benchmark("ncvoter", n_rows=n_rows)
+    discovered = make_algorithm("dhyfd", time_limit=TIME_LIMIT).discover(relation)
+    cover = canonical_cover(discovered.fds)
+
+    def measure():
+        cache = PartitionCache(relation)
+        with_nulls = [
+            count_redundant(relation, fd, NullPolicy.INCLUDE, cache)
+            for fd in cover
+        ]
+        without_nulls = [
+            count_redundant(relation, fd, NullPolicy.EXCLUDE_LHS_RHS, cache)
+            for fd in cover
+        ]
+        return with_nulls, without_nulls
+
+    start = time.perf_counter()
+    with_nulls, without_nulls = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    elapsed = time.perf_counter() - start
+
+    # excluding nulls can only reduce an FD's redundancy
+    for including, excluding in zip(with_nulls, without_nulls):
+        assert excluding <= including
+
+    blue = redundancy_histogram(with_nulls)
+    orange = redundancy_histogram(without_nulls)
+    rows = [
+        (threshold_b, count_b, threshold_o, count_o)
+        for (threshold_b, count_b), (threshold_o, count_o) in zip(blue, orange)
+    ]
+    _blocks.append(
+        format_table(
+            ["<=red (with nulls)", "#FDs", "<=red (no nulls)", "#FDs"],
+            rows,
+            title=(
+                f"Fig. 11 — ncvoter fragment {n_rows} rows: "
+                f"{len(cover)} FDs, time {elapsed:.3f}s"
+            ),
+        )
+    )
+
+
+def teardown_module(module):
+    write_artifact("fig11_null_comparison", "\n\n".join(_blocks))

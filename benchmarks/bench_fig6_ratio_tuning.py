@@ -1,0 +1,65 @@
+"""Figure 6 — DHyFD discovery time vs efficiency–inefficiency ratio.
+
+The paper sweeps the ratio threshold on weather and uniprot and finds
+ratio ≈ 3 a robust choice.  This bench reruns DHyFD across thresholds
+on the same two replicas and prints the time series.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.algorithms import DHyFD
+from repro.bench.tables import format_table
+from repro.datasets.benchmarks import load_benchmark
+
+from _utils import pick, write_artifact
+
+RATIOS = [0.5, 1.0, 2.0, 2.5, 3.0, 4.0, 6.0, 10.0]
+
+DATASETS = pick(
+    smoke=[("weather", 300)],
+    quick=[("weather", 1500), ("uniprot", 500)],
+    full=[("weather", None), ("uniprot", None)],
+)
+
+_series = {}
+
+
+@pytest.mark.parametrize("dataset,row_override", DATASETS)
+def test_fig6_ratio_sweep(dataset, row_override, benchmark):
+    relation = load_benchmark(dataset, n_rows=row_override)
+    points = []
+    baseline_fds = None
+    for ratio in RATIOS:
+        algo = DHyFD(ratio_threshold=ratio)
+        start = time.perf_counter()
+        result = algo.discover(relation)
+        points.append((ratio, time.perf_counter() - start))
+        if baseline_fds is None:
+            baseline_fds = result.fds
+        else:
+            # the threshold is a performance knob, never a correctness one
+            assert result.fds == baseline_fds
+    _series[dataset] = points
+
+    benchmark.pedantic(
+        lambda: DHyFD(ratio_threshold=3.0).discover(relation),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def teardown_module(module):
+    lines = []
+    for dataset, points in _series.items():
+        lines.append(
+            format_table(
+                ["ratio", "seconds"],
+                [(r, f"{s:.3f}") for r, s in points],
+                title=f"Fig. 6 — {dataset}: DHyFD time vs ratio threshold",
+            )
+        )
+    write_artifact("fig6_ratio_tuning", "\n\n".join(lines))

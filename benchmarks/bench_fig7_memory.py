@@ -1,0 +1,113 @@
+"""Figure 7 — memory of HyFD vs DHyFD over row and column fragments.
+
+The paper shows DHyFD spending conservatively more memory than HyFD for
+solid speedups (PIR vs MIR).  This bench sweeps weather row fragments
+and diabetic column fragments, recording tracemalloc peaks and the
+performance/memory increase rates.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import run_discovery
+from repro.bench.tables import format_table
+from repro.datasets.benchmarks import load_benchmark
+
+from _utils import TIME_LIMIT, pick, write_artifact
+
+ROW_AXIS = pick(
+    smoke=[200, 400],
+    quick=[500, 1000, 2000, 3000],
+    full=[1000, 2000, 4000, 8000],
+)
+COL_AXIS = pick(
+    smoke=[6, 10],
+    quick=[8, 12, 16, 22],
+    full=[10, 15, 20, 25, 30],
+)
+DIABETIC_ROWS = pick(smoke=80, quick=150, full=400)
+
+_rows_table = []
+_cols_table = []
+
+
+def _measure_pair(relation, dataset):
+    cells = {}
+    for algorithm in ("hyfd", "dhyfd"):
+        record, _ = run_discovery(
+            relation, algorithm, dataset=dataset, time_limit=TIME_LIMIT
+        )
+        cells[algorithm] = record
+    hyfd, dhyfd = cells["hyfd"], cells["dhyfd"]
+    pir = mir = None
+    if not hyfd.timed_out and not dhyfd.timed_out and hyfd.seconds:
+        pir = (hyfd.seconds - dhyfd.seconds) / hyfd.seconds
+        if dhyfd.peak_memory_bytes:
+            mir = (
+                dhyfd.peak_memory_bytes - hyfd.peak_memory_bytes
+            ) / dhyfd.peak_memory_bytes
+    return hyfd, dhyfd, pir, mir
+
+
+@pytest.mark.parametrize("n_rows", ROW_AXIS)
+def test_fig7_weather_rows(n_rows, benchmark):
+    relation = load_benchmark("weather", n_rows=n_rows)
+    hyfd, dhyfd, pir, mir = _measure_pair(relation, "weather")
+    _rows_table.append(
+        [
+            n_rows,
+            hyfd.memory_mb_text,
+            dhyfd.memory_mb_text,
+            hyfd.seconds_text,
+            dhyfd.seconds_text,
+            f"{pir:.2f}" if pir is not None else "-",
+            f"{mir:.2f}" if mir is not None else "-",
+        ]
+    )
+    benchmark.pedantic(
+        lambda: run_discovery(
+            relation, "dhyfd", dataset="weather",
+            time_limit=TIME_LIMIT, track_memory=False,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+
+@pytest.mark.parametrize("n_cols", COL_AXIS)
+def test_fig7_diabetic_cols(n_cols, benchmark):
+    base = load_benchmark("diabetic", n_rows=DIABETIC_ROWS)
+    relation = base.project_columns(list(range(n_cols)))
+    hyfd, dhyfd, pir, mir = _measure_pair(relation, "diabetic")
+    _cols_table.append(
+        [
+            n_cols,
+            hyfd.memory_mb_text,
+            dhyfd.memory_mb_text,
+            hyfd.seconds_text,
+            dhyfd.seconds_text,
+            f"{pir:.2f}" if pir is not None else "-",
+            f"{mir:.2f}" if mir is not None else "-",
+        ]
+    )
+    benchmark.pedantic(
+        lambda: run_discovery(
+            relation, "dhyfd", dataset="diabetic",
+            time_limit=TIME_LIMIT, track_memory=False,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def teardown_module(module):
+    headers = ["axis", "MB hyfd", "MB dhyfd", "s hyfd", "s dhyfd", "PIR", "MIR"]
+    text = format_table(
+        headers, _rows_table, title="Fig. 7 (left) — weather row fragments"
+    )
+    text += "\n\n" + format_table(
+        headers, _cols_table,
+        title=f"Fig. 7 (right) — diabetic column fragments ({DIABETIC_ROWS} rows)",
+    )
+    write_artifact("fig7_memory", text)

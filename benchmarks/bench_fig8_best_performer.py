@@ -1,0 +1,70 @@
+"""Figure 8 — best-performing algorithm per (rows × cols) fragment.
+
+The paper's quantitative experiment colours each fragment of weather
+and diabetic by the fastest algorithm: FDEP wins with few rows, TANE
+only with few columns, the hybrids (and increasingly DHyFD) win as both
+grow.  This bench prints the winner grid.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import run_discovery
+from repro.bench.tables import format_table
+from repro.datasets.benchmarks import load_benchmark
+
+from _utils import TIME_LIMIT, pick, write_artifact
+
+ALGORITHMS = ["tane", "fdep2", "hyfd", "dhyfd"]
+
+GRIDS = {
+    "weather": {
+        "rows": pick([150, 400], [200, 600, 1500], [500, 2000, 4000]),
+        "cols": pick([6, 12], [6, 12, 18], [6, 12, 18]),
+    },
+    "diabetic": {
+        "rows": pick([60, 120], [80, 160, 320], [200, 800, 2000]),
+        "cols": pick([8, 14], [8, 14, 20], [10, 20, 30]),
+    },
+}
+
+_grids = {}
+
+
+@pytest.mark.parametrize("dataset", list(GRIDS))
+def test_fig8_grid(dataset, benchmark):
+    axes = GRIDS[dataset]
+    cells = []
+    for n_rows in axes["rows"]:
+        base = load_benchmark(dataset, n_rows=n_rows)
+        row_cells = [n_rows]
+        for n_cols in axes["cols"]:
+            fragment = base.project_columns(list(range(n_cols)))
+            best_algorithm, best_seconds = "TL", None
+            for algorithm in ALGORITHMS:
+                record, _ = run_discovery(
+                    fragment, algorithm, dataset=dataset,
+                    time_limit=TIME_LIMIT, track_memory=False,
+                )
+                if record.timed_out or record.seconds is None:
+                    continue
+                if best_seconds is None or record.seconds < best_seconds:
+                    best_algorithm, best_seconds = algorithm, record.seconds
+            row_cells.append(best_algorithm)
+        cells.append(row_cells)
+    _grids[dataset] = (axes["cols"], cells)
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def teardown_module(module):
+    blocks = []
+    for dataset, (cols, cells) in _grids.items():
+        headers = ["rows\\cols"] + [str(c) for c in cols]
+        blocks.append(
+            format_table(
+                headers, cells, title=f"Fig. 8 — fastest algorithm on {dataset}"
+            )
+        )
+    write_artifact("fig8_best_performer", "\n\n".join(blocks))

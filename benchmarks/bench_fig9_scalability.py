@@ -1,0 +1,102 @@
+"""Figure 9 — row scalability (weather) and column scalability (diabetic).
+
+The paper's qualitative experiment: TANE and FDEP blow up as rows grow;
+TANE also dies with columns; HyFD degrades when the number of valid FDs
+doubles; DHyFD scales smoothly on both axes.  Each series is printed
+with the FD count (the second y-axis of the right-hand chart).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import run_discovery
+from repro.bench.tables import format_table
+from repro.datasets.benchmarks import load_benchmark
+
+from _utils import TIME_LIMIT, pick, write_artifact
+
+ALGORITHMS = ["tane", "fdep2", "hyfd", "dhyfd"]
+
+ROW_AXIS = pick(
+    smoke=[150, 300],
+    quick=[250, 500, 1000, 2000, 4000],
+    full=[500, 1000, 2000, 4000, 8000, 16000],
+)
+COL_AXIS = pick(
+    smoke=[6, 10],
+    quick=[8, 12, 16, 20, 25, 30],
+    full=[8, 12, 16, 20, 24, 30],
+)
+DIABETIC_ROWS = pick(smoke=80, quick=150, full=600)
+
+_row_series = []
+_col_series = []
+
+
+@pytest.mark.parametrize("n_rows", ROW_AXIS)
+def test_fig9_weather_rows(n_rows, benchmark):
+    relation = load_benchmark("weather", n_rows=n_rows)
+    cells = [n_rows]
+    fd_count = "-"
+    for algorithm in ALGORITHMS:
+        record, result = run_discovery(
+            relation, algorithm, dataset="weather",
+            time_limit=TIME_LIMIT, track_memory=False,
+        )
+        cells.append(record.seconds_text)
+        if result is not None:
+            fd_count = result.fd_count
+    cells.append(fd_count)
+    _row_series.append(cells)
+
+    benchmark.pedantic(
+        lambda: run_discovery(
+            relation, "dhyfd", dataset="weather",
+            time_limit=TIME_LIMIT, track_memory=False,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+
+@pytest.mark.parametrize("n_cols", COL_AXIS)
+def test_fig9_diabetic_cols(n_cols, benchmark):
+    base = load_benchmark("diabetic", n_rows=DIABETIC_ROWS)
+    relation = base.project_columns(list(range(n_cols)))
+    cells = [n_cols]
+    fd_count = "-"
+    for algorithm in ALGORITHMS:
+        record, result = run_discovery(
+            relation, algorithm, dataset="diabetic",
+            time_limit=TIME_LIMIT, track_memory=False,
+        )
+        cells.append(record.seconds_text)
+        if result is not None:
+            fd_count = result.fd_count
+    cells.append(fd_count)
+    _col_series.append(cells)
+
+    benchmark.pedantic(
+        lambda: run_discovery(
+            relation, "dhyfd", dataset="diabetic",
+            time_limit=TIME_LIMIT, track_memory=False,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def teardown_module(module):
+    headers_rows = ["rows"] + ALGORITHMS + ["#FD"]
+    headers_cols = ["cols"] + ALGORITHMS + ["#FD"]
+    text = format_table(
+        headers_rows, _row_series,
+        title="Fig. 9 (left) — row scalability on weather",
+    )
+    text += "\n\n" + format_table(
+        headers_cols, _col_series,
+        title=f"Fig. 9 (right) — column scalability on diabetic "
+        f"({DIABETIC_ROWS} rows)",
+    )
+    write_artifact("fig9_scalability", text)

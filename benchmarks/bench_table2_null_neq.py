@@ -1,0 +1,78 @@
+"""Table II variant — null ≠ null semantics (paper §V-B / TR).
+
+The paper reports that under null ≠ null more FDs tend to hold and
+runtimes grow on larger data, with the same relative algorithm
+ordering.  This bench re-runs a null-bearing subset of the replicas
+under both semantics and prints the side-by-side comparison.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import run_discovery
+from repro.bench.tables import format_table
+from repro.datasets.benchmarks import load_benchmark
+
+from _utils import TIME_LIMIT, pick, write_artifact
+
+ALGORITHMS = ["fdep2", "hyfd", "dhyfd"]
+
+DATASETS = pick(
+    smoke=[("bridges", 50)],
+    quick=[
+        ("breast", None), ("bridges", None), ("echo", None),
+        ("ncvoter", 400), ("hepatitis", 45), ("horse", 26),
+        ("uniprot", 300), ("china", 300),
+    ],
+    full=[
+        ("breast", None), ("bridges", None), ("echo", None),
+        ("ncvoter", None), ("hepatitis", None), ("horse", None),
+        ("uniprot", None), ("china", None),
+    ],
+)
+
+_rows = []
+
+
+@pytest.mark.parametrize("dataset,row_override", DATASETS)
+def test_null_neq_dataset(dataset, row_override, benchmark):
+    relation_eq = load_benchmark(dataset, n_rows=row_override)
+    relation_neq = relation_eq.with_semantics("neq")
+
+    row = [dataset, relation_eq.n_rows, relation_eq.n_cols]
+    fd_counts = {}
+    for semantics, relation in (("eq", relation_eq), ("neq", relation_neq)):
+        counts = set()
+        for algorithm in ALGORITHMS:
+            record, result = run_discovery(
+                relation, algorithm, dataset=dataset,
+                time_limit=TIME_LIMIT, track_memory=False,
+            )
+            row.append(record.seconds_text)
+            if result is not None:
+                counts.add(result.fd_count)
+        assert len(counts) <= 1, f"{dataset}/{semantics}: disagreement {counts}"
+        fd_counts[semantics] = counts.pop() if counts else "-"
+    row.insert(3, fd_counts["eq"])
+    row.insert(4, fd_counts["neq"])
+    _rows.append(row)
+
+    benchmark.pedantic(
+        lambda: run_discovery(
+            relation_neq, "dhyfd", dataset=dataset,
+            time_limit=TIME_LIMIT, track_memory=False,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def teardown_module(module):
+    headers = ["dataset", "#R", "#C", "#FD eq", "#FD neq"] + [
+        f"{a} {s}" for s in ("eq", "neq") for a in ALGORITHMS
+    ]
+    write_artifact(
+        "table2_null_neq",
+        format_table(headers, _rows, title="Table II under null != null"),
+    )

@@ -1,0 +1,112 @@
+"""Table II — runtime and memory of all algorithms, null = null.
+
+Regenerates the paper's main results table on the benchmark replicas:
+one row per data set with #R, #C, #FD and per-algorithm runtimes
+(seconds, or TL), plus peak-memory columns for HyFD and DHyFD.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import run_discovery
+from repro.bench.tables import format_table
+from repro.datasets.benchmarks import get_spec, load_benchmark
+
+from _utils import TIME_LIMIT, pick, write_artifact
+
+ALGORITHMS = ["tane", "fdep", "fdep1", "fdep2", "hyfd", "dhyfd"]
+
+#: (dataset, row override or None for bench default) per scale.
+DATASETS = pick(
+    smoke=[("iris", 60), ("bridges", 50), ("ncvoter", 120)],
+    quick=[
+        ("iris", None), ("balance", None), ("chess", 800),
+        ("abalone", 800), ("nursery", 800), ("breast", None),
+        ("bridges", None), ("echo", None), ("adult", 1000),
+        ("letter", 1000), ("ncvoter", 400), ("hepatitis", 50),
+        ("horse", 30), ("plista", 24), ("flight", 28),
+        ("fd_reduced", 800), ("weather", 1000), ("diabetic", 200),
+        ("pdbx", 1500), ("lineitem", 1000), ("uniprot", 400),
+    ],
+    full=[
+        (name, None)
+        for name in [
+            "iris", "balance", "chess", "abalone", "nursery", "breast",
+            "bridges", "echo", "adult", "letter", "ncvoter", "hepatitis",
+            "horse", "plista", "flight", "fd_reduced", "weather",
+            "diabetic", "pdbx", "lineitem", "uniprot",
+        ]
+    ],
+)
+
+_rows = []
+
+
+@pytest.mark.parametrize("dataset,row_override", DATASETS)
+def test_table2_dataset(dataset, row_override, benchmark):
+    """One Table II row: run every algorithm on the replica."""
+    relation = load_benchmark(dataset, n_rows=row_override)
+    spec = get_spec(dataset)
+
+    # Times are measured without tracemalloc (it inflates allocation-
+    # heavy algorithms); the paper's memory columns (HyFD, DHyFD) come
+    # from a separate tracked pass.
+    cells = {"memory": {}}
+    fd_counts = set()
+    for algorithm in ALGORITHMS:
+        record, result = run_discovery(
+            relation, algorithm, dataset=dataset,
+            time_limit=TIME_LIMIT, track_memory=False,
+        )
+        cells[algorithm] = record.seconds_text
+        if result is not None:
+            fd_counts.add(result.fd_count)
+    for algorithm in ("hyfd", "dhyfd"):
+        record, _ = run_discovery(
+            relation, algorithm, dataset=dataset, time_limit=TIME_LIMIT
+        )
+        cells["memory"][algorithm] = record.memory_mb_text
+
+    # correctness cross-check: every algorithm that finished agrees
+    assert len(fd_counts) == 1, f"{dataset}: disagreeing FD counts {fd_counts}"
+    fd_count = fd_counts.pop()
+
+    # the timed headline measurement: DHyFD end to end
+    benchmark.pedantic(
+        lambda: run_discovery(
+            relation, "dhyfd", dataset=dataset,
+            time_limit=TIME_LIMIT, track_memory=False,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    _rows.append(
+        [
+            dataset,
+            relation.n_rows,
+            relation.n_cols,
+            fd_count,
+            spec.paper_fds if spec.paper_fds is not None else "-",
+        ]
+        + [cells[a] for a in ALGORITHMS]
+        + [cells["memory"]["hyfd"], cells["memory"]["dhyfd"]]
+    )
+
+
+def teardown_module(module):
+    headers = (
+        ["dataset", "#R", "#C", "#FD", "#FD(paper)"]
+        + ALGORITHMS
+        + ["MB hyfd", "MB dhyfd"]
+    )
+    write_artifact(
+        "table2_runtime",
+        format_table(
+            headers,
+            _rows,
+            title=f"Table II (null = null), scale={pick('smoke', 'quick', 'full')}, "
+            f"TL={TIME_LIMIT}s",
+        ),
+    )

@@ -1,0 +1,66 @@
+"""Monitoring FDs on a growing table with incremental maintenance.
+
+Simulates an append-only ingest: batches of rows arrive, the cover is
+repaired incrementally (no rediscovery), and every FD that a batch
+breaks is reported — the "constraint drift" monitoring workflow that
+FD profiling enables.
+
+Run with::
+
+    python examples/incremental_monitoring.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datasets import ncvoter_like
+from repro.incremental import IncrementalFDMaintainer
+from repro.relational.null import NULL
+
+
+def main() -> None:
+    base = ncvoter_like(400, seed=0)
+    maintainer = IncrementalFDMaintainer(base)
+    print(
+        f"initial: {base.n_rows} rows, "
+        f"{len(maintainer.cover)} FDs in the left-reduced cover"
+    )
+
+    rng = random.Random(7)
+    template = list(base.row_values(10))
+
+    for batch_no in range(1, 5):
+        batch = []
+        for i in range(20):
+            row = list(template)
+            row[0] = f"new{batch_no}_{i}"              # fresh voter id
+            row[1] = rng.choice(["amy", "ben", "cod"])  # first name
+            row[5] = str(18 + rng.randrange(80))        # age
+            if batch_no >= 3:
+                # drift: new rows from out of state break σ1
+                row[9] = "va"
+            if rng.random() < 0.3:
+                row[4] = NULL
+            batch.append(tuple(row))
+
+        before = maintainer.cover
+        after = maintainer.append_rows(batch)
+        broken = [fd for fd in before if fd not in after]
+        added = [fd for fd in after if fd not in before]
+        print(
+            f"batch {batch_no}: +{len(batch)} rows -> "
+            f"{len(after)} FDs ({len(broken)} broken, {len(added)} refined)"
+        )
+        for fd in broken[:5]:
+            print("   broke:", fd.format(base.schema))
+
+    print(
+        f"\ntotal pair comparisons spent on maintenance: "
+        f"{maintainer.pair_comparisons} "
+        f"(vs ~{maintainer.relation.n_rows ** 2 // 2} for rediscovery)"
+    )
+
+
+if __name__ == "__main__":
+    main()

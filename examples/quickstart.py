@@ -1,0 +1,70 @@
+"""Quickstart: discover, cover, and rank FDs on a small relation.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import NULL, Relation, profile
+
+# A tiny voter-registration-style table (cf. Table I of the paper).
+ROWS = [
+    # voter_id, name,    street,            city,          state, zip
+    ("131", "joseph cox", "1108 highland ave", "new bern", "nc", "28562"),
+    ("131", "joseph cox", "9 casey rd", "new bern", "nc", "28562"),
+    ("657", "essie warren", "105 south st", "lasker", "nc", "27845"),
+    ("725", "lila morris", "500 w jefferson st", "jackson", "nc", "27845"),
+    ("244", "sallie futrell", "9802 us hwy 258", "murfreesboro", "nc", "27855"),
+    ("247", "herbert futrell", "9802 us hwy 258", "murfreesboro", "nc", "27855"),
+    ("440", "barbara johnson", "6155 kimesville rd", "liberty", "nc", "27298"),
+    ("464", "albert johnson", "6155 kimesville rd", "liberty", "nc", "27298"),
+    ("265", "w johnson", "11957 us hwy 158", "conway", "nc", "27820"),
+    ("272", "clyde johnson", "8944 us hwy 158", "conway", "nc", "27820"),
+    ("026", "louise johnson", "113 gentry st #20", "wilkesboro", "nc", "28659"),
+    ("042", "walter johnson", "169 otis brown dr", "wilkesboro", "nc", NULL),
+]
+
+SCHEMA = ["voter_id", "name", "street", "city", "state", "zip"]
+
+
+def main() -> None:
+    relation = Relation.from_rows(ROWS, SCHEMA)
+
+    # One call: discovery (DHyFD) + canonical cover + redundancy ranking.
+    result = profile(relation, algorithm="dhyfd")
+
+    print("=== profile summary ===")
+    print(result.summary())
+
+    print("\n=== left-reduced cover (discovery output) ===")
+    for line in result.discovery.format_fds():
+        print(" ", line)
+
+    print("\n=== canonical cover ===")
+    for fd in result.canonical:
+        print(" ", fd.format(relation.schema))
+
+    print("\n=== FDs ranked by redundant data values ===")
+    assert result.ranking is not None
+    for ranked in result.ranking.ranked:
+        print(" ", ranked.format(relation.schema))
+
+    print("\nkey-candidate FDs (zero redundancy):")
+    for ranked in result.ranking.zero_redundancy():
+        print(" ", ranked.fd.format(relation.schema))
+
+    from repro import discover_uccs
+
+    print("\n=== minimal unique column combinations ===")
+    uccs = discover_uccs(relation)
+    if uccs.uccs:
+        for line in uccs.format():
+            print(" ", line)
+    else:
+        print("  none — the table contains duplicate rows")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""A miniature of the paper's Figure 9 scalability study.
+
+Sweeps row counts on the weather replica and column counts on the
+diabetic replica, timing TANE, FDEP, HyFD and DHyFD with a time limit —
+the same series the paper plots, at laptop scale.
+
+Run with::
+
+    python examples/scalability_study.py
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_table, run_discovery
+from repro.datasets import load_benchmark
+
+ALGORITHMS = ["tane", "fdep2", "hyfd", "dhyfd"]
+TIME_LIMIT = 10.0
+
+
+def row_scalability() -> None:
+    print("row scalability on the weather replica (18 cols)")
+    rows_axis = [250, 500, 1000, 2000]
+    table = []
+    for n_rows in rows_axis:
+        relation = load_benchmark("weather", n_rows=n_rows)
+        cells = [n_rows]
+        for algorithm in ALGORITHMS:
+            record, _ = run_discovery(
+                relation, algorithm, dataset="weather",
+                time_limit=TIME_LIMIT, track_memory=False,
+            )
+            cells.append(record.seconds_text)
+        table.append(cells)
+    print(format_table(["rows"] + ALGORITHMS, table))
+
+
+def column_scalability() -> None:
+    print("\ncolumn scalability on the diabetic replica (300 rows)")
+    base = load_benchmark("diabetic", n_rows=300)
+    cols_axis = [8, 12, 16, 20, 24]
+    table = []
+    for n_cols in cols_axis:
+        relation = base.project_columns(list(range(n_cols)))
+        cells = [n_cols]
+        fd_count = "-"
+        for algorithm in ALGORITHMS:
+            record, result = run_discovery(
+                relation, algorithm, dataset="diabetic",
+                time_limit=TIME_LIMIT, track_memory=False,
+            )
+            cells.append(record.seconds_text)
+            if result is not None:
+                fd_count = result.fd_count
+        cells.append(fd_count)
+        table.append(cells)
+    print(format_table(["cols"] + ALGORITHMS + ["#FD"], table))
+
+
+if __name__ == "__main__":
+    row_scalability()
+    column_scalability()

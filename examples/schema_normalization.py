@@ -1,0 +1,103 @@
+"""Normalization guidance from canonical covers and redundancy ranking.
+
+The paper motivates redundancy-based ranking by normalization: an FD
+causing many redundant values is exactly an FD worth normalizing away
+(Boyce-Codd / 3NF).  This example profiles a denormalized order table
+and proposes decompositions for the highest-ranked FDs.
+
+Run with::
+
+    python examples/schema_normalization.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import Relation, profile
+from repro.relational import attrset
+
+SCHEMA = [
+    "order_id", "customer_id", "customer_name", "customer_city",
+    "product_id", "product_name", "unit_price", "quantity",
+]
+
+
+def build_orders(n_orders: int = 400, seed: int = 0) -> Relation:
+    """A classic denormalized orders table: customer and product
+    attributes are functionally dependent on their ids and repeated on
+    every order line."""
+    rng = random.Random(seed)
+    customers = {
+        f"c{i}": (f"name{i}", f"city{i % 12}") for i in range(40)
+    }
+    products = {
+        f"p{i}": (f"product{i}", f"{(i * 7) % 90 + 10}.99") for i in range(25)
+    }
+    rows = []
+    for order in range(n_orders):
+        customer_id = rng.choice(list(customers))
+        product_id = rng.choice(list(products))
+        name, city = customers[customer_id]
+        product_name, price = products[product_id]
+        rows.append(
+            (
+                f"o{order}", customer_id, name, city,
+                product_id, product_name, price, str(rng.randrange(1, 9)),
+            )
+        )
+    return Relation.from_rows(rows, SCHEMA)
+
+
+def main() -> None:
+    relation = build_orders()
+    result = profile(relation)
+    schema = relation.schema
+    assert result.ranking is not None
+
+    print(result.summary())
+
+    print("\n--- normalization candidates (most redundancy first) ---")
+    for ranked in result.ranking.ranked:
+        if ranked.redundancy == 0 or ranked.fd.lhs == attrset.EMPTY:
+            continue
+        print(
+            f"  {ranked.fd.format(schema):60s} "
+            f"fixes {ranked.redundancy} values"
+        )
+
+    from repro.normalize import (
+        candidate_keys,
+        check_3nf,
+        check_bcnf,
+        is_lossless_join,
+        preserves_dependencies,
+        synthesize_3nf,
+    )
+
+    cover = list(result.canonical)
+    n_cols = relation.n_cols
+
+    print("\n--- normal-form diagnosis ---")
+    keys = candidate_keys(n_cols, cover)
+    print("candidate keys:", [schema.format_attr_set(k) for k in keys])
+    bcnf = check_bcnf(n_cols, cover)
+    third = check_3nf(n_cols, cover)
+    print(f"BCNF: {bcnf.satisfied}; 3NF: {third.satisfied}")
+    for violation in bcnf.violations:
+        print("  BCNF violation:", violation.format(schema))
+
+    print("\n--- 3NF synthesis from the canonical cover ---")
+    decomposition = synthesize_3nf(n_cols, cover)
+    for fragment in decomposition.format(schema):
+        print("  table(", fragment, ")")
+    print(
+        "lossless join:",
+        is_lossless_join(n_cols, cover, decomposition),
+        "| dependency preserving:",
+        preserves_dependencies(cover, decomposition),
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""repro — reproduction of "Discovery and Ranking of Functional
+Dependencies" (Ziheng Wei & Sebastian Link, ICDE 2019).
+
+The package provides:
+
+* :class:`~repro.core.dhyfd.DHyFD` — the paper's dynamic hybrid FD
+  discovery algorithm, plus the baselines it is evaluated against
+  (TANE, FDEP/FDEP1/FDEP2, HyFD) in :mod:`repro.algorithms`;
+* canonical-cover computation in :mod:`repro.covers`;
+* redundancy-based FD ranking in :mod:`repro.ranking`;
+* synthetic replicas of the paper's benchmark data in
+  :mod:`repro.datasets`; and
+* the one-call :func:`~repro.profiling.profile` front door.
+
+Quickstart::
+
+    from repro import Relation, profile
+    relation = Relation.from_rows(rows, ["city", "zip", "state"])
+    result = profile(relation, algorithm="dhyfd")
+    print(result.summary())
+"""
+
+from .algorithms import (
+    DHyFD,
+    FDEP,
+    FDEP1,
+    FDEP2,
+    HyFD,
+    NaiveFDDiscovery,
+    TANE,
+    algorithm_names,
+    make_algorithm,
+)
+from .core import DiscoveryResult, TimeLimitExceeded
+from .covers import canonical_cover, closure, compare_covers, equivalent
+from .incremental import IncrementalFDMaintainer
+from .normalize import (
+    candidate_keys,
+    check_3nf,
+    check_bcnf,
+    decompose_bcnf,
+    synthesize_3nf,
+)
+from .profiling import FDProfile, markdown_report, profile
+from .ranking import NullPolicy, dataset_redundancy, rank_cover
+from .ucc import UCCResult, discover_uccs
+from .relational import (
+    FD,
+    FDSet,
+    NULL,
+    NullSemantics,
+    Relation,
+    RelationSchema,
+    read_csv,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DHyFD",
+    "DiscoveryResult",
+    "FD",
+    "FDEP",
+    "FDEP1",
+    "FDEP2",
+    "FDProfile",
+    "FDSet",
+    "HyFD",
+    "IncrementalFDMaintainer",
+    "NULL",
+    "NaiveFDDiscovery",
+    "NullPolicy",
+    "NullSemantics",
+    "Relation",
+    "RelationSchema",
+    "TANE",
+    "TimeLimitExceeded",
+    "algorithm_names",
+    "candidate_keys",
+    "canonical_cover",
+    "check_3nf",
+    "check_bcnf",
+    "UCCResult",
+    "closure",
+    "compare_covers",
+    "dataset_redundancy",
+    "discover_uccs",
+    "decompose_bcnf",
+    "equivalent",
+    "make_algorithm",
+    "markdown_report",
+    "profile",
+    "rank_cover",
+    "read_csv",
+    "synthesize_3nf",
+]

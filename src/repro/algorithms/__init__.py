@@ -1,0 +1,27 @@
+"""Baseline discovery algorithms: TANE, FDEP family, HyFD, oracle."""
+
+from ..core.dhyfd import DHyFD
+from .approximate import ApproximateTANE, g3_error
+from .fastfds import FastFDs, minimal_hitting_sets
+from .fdep import FDEP, FDEP1, FDEP2, compute_negative_cover
+from .hyfd import HyFD
+from .naive import NaiveFDDiscovery
+from .registry import algorithm_names, make_algorithm
+from .tane import TANE
+
+__all__ = [
+    "ApproximateTANE",
+    "DHyFD",
+    "g3_error",
+    "FDEP",
+    "FDEP1",
+    "FDEP2",
+    "FastFDs",
+    "HyFD",
+    "NaiveFDDiscovery",
+    "TANE",
+    "algorithm_names",
+    "compute_negative_cover",
+    "make_algorithm",
+    "minimal_hitting_sets",
+]

@@ -1,0 +1,13 @@
+"""Shared benchmark harness: runs, measurement, table formatting."""
+
+from .runner import RunRecord, measure, run_discovery, run_matrix
+from .tables import format_series, format_table
+
+__all__ = [
+    "RunRecord",
+    "format_series",
+    "format_table",
+    "measure",
+    "run_discovery",
+    "run_matrix",
+]

@@ -1,0 +1,119 @@
+"""Experiment runner: timed, memory-tracked discovery runs with TL.
+
+The benchmark scripts in ``benchmarks/`` share this machinery: run one
+algorithm over one relation, capture wall time and tracemalloc peak
+memory, and record "TL" outcomes when the configured limit trips —
+mirroring Table II's reporting.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, TypeVar
+
+from ..algorithms.registry import make_algorithm
+from ..core.base import TimeLimitExceeded
+from ..core.result import DiscoveryResult
+from ..relational.relation import Relation
+
+T = TypeVar("T")
+
+
+def measure(fn: Callable[[], T]) -> Tuple[T, float, int]:
+    """Run ``fn``; return (result, seconds, tracemalloc peak bytes)."""
+    tracemalloc.start()
+    start = time.perf_counter()
+    try:
+        result = fn()
+    finally:
+        elapsed = time.perf_counter() - start
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+    return result, elapsed, peak
+
+
+@dataclass
+class RunRecord:
+    """Outcome of one (data set, algorithm) cell of a results table."""
+
+    dataset: str
+    algorithm: str
+    n_rows: int
+    n_cols: int
+    seconds: Optional[float]
+    peak_memory_bytes: Optional[int]
+    fd_count: Optional[int]
+    timed_out: bool = False
+
+    @property
+    def seconds_text(self) -> str:
+        """Formatted runtime, or the paper's 'TL' marker."""
+        if self.timed_out or self.seconds is None:
+            return "TL"
+        return f"{self.seconds:.3f}"
+
+    @property
+    def memory_mb_text(self) -> str:
+        """Peak memory in MB (blank on timeout)."""
+        if self.timed_out or self.peak_memory_bytes is None:
+            return "-"
+        return f"{self.peak_memory_bytes / (1024 * 1024):.1f}"
+
+
+def run_discovery(
+    relation: Relation,
+    algorithm: str,
+    dataset: str = "?",
+    time_limit: Optional[float] = None,
+    track_memory: bool = True,
+    **algorithm_kwargs,
+) -> Tuple[RunRecord, Optional[DiscoveryResult]]:
+    """Run one algorithm over one relation, TL-aware."""
+    algo = make_algorithm(algorithm, time_limit=time_limit, **algorithm_kwargs)
+    try:
+        if track_memory:
+            result, seconds, peak = measure(lambda: algo.discover(relation))
+        else:
+            start = time.perf_counter()
+            result = algo.discover(relation)
+            seconds, peak = time.perf_counter() - start, 0
+    except TimeLimitExceeded:
+        record = RunRecord(
+            dataset=dataset,
+            algorithm=algorithm,
+            n_rows=relation.n_rows,
+            n_cols=relation.n_cols,
+            seconds=None,
+            peak_memory_bytes=None,
+            fd_count=None,
+            timed_out=True,
+        )
+        return record, None
+    record = RunRecord(
+        dataset=dataset,
+        algorithm=algorithm,
+        n_rows=relation.n_rows,
+        n_cols=relation.n_cols,
+        seconds=seconds,
+        peak_memory_bytes=peak,
+        fd_count=result.fd_count,
+    )
+    return record, result
+
+
+def run_matrix(
+    relations: Dict[str, Relation],
+    algorithms: Iterable[str],
+    time_limit: Optional[float] = None,
+) -> List[RunRecord]:
+    """Run every algorithm over every relation (a results-table sweep)."""
+    records: List[RunRecord] = []
+    for dataset, relation in relations.items():
+        for algorithm in algorithms:
+            record, _ = run_discovery(
+                relation, algorithm, dataset=dataset, time_limit=time_limit
+            )
+            records.append(record)
+    return records

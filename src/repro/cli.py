@@ -1,0 +1,288 @@
+"""Command-line interface: ``repro-fd`` / ``python -m repro``.
+
+Subcommands::
+
+    discover   run FD discovery on a CSV file or a benchmark replica
+    rank       discover + canonical cover + redundancy ranking
+    covers     compare left-reduced vs canonical cover sizes
+    datasets   list the built-in benchmark replicas
+    generate   write a benchmark replica to a CSV file
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .algorithms.registry import algorithm_names, make_algorithm
+from .bench.tables import format_table
+from .covers.canonical import compare_covers
+from .datasets.benchmarks import benchmark_names, get_spec, load_benchmark
+from .profiling.profiler import profile
+from .relational.io import read_csv, write_csv
+from .relational.null import NullSemantics
+from .relational.relation import Relation
+
+
+def _load_input(args: argparse.Namespace) -> Relation:
+    """Resolve --csv / --benchmark inputs into a relation."""
+    semantics = NullSemantics.parse(args.null_semantics)
+    if args.csv:
+        return read_csv(args.csv, semantics=semantics, max_rows=args.rows)
+    relation = load_benchmark(args.benchmark, n_rows=args.rows, seed=args.seed)
+    if semantics is not relation.semantics:
+        relation = relation.with_semantics(semantics)
+    return relation
+
+
+def _add_input_args(parser: argparse.ArgumentParser) -> None:
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--csv", help="path to a CSV file with a header row")
+    source.add_argument(
+        "--benchmark",
+        choices=benchmark_names(),
+        help="name of a built-in benchmark replica",
+    )
+    parser.add_argument("--rows", type=int, default=None, help="row cap / fragment size")
+    parser.add_argument("--seed", type=int, default=0, help="replica generator seed")
+    parser.add_argument(
+        "--null-semantics",
+        default="eq",
+        choices=["eq", "neq"],
+        help="null=null (eq, default) or null!=null (neq)",
+    )
+
+
+def _cmd_discover(args: argparse.Namespace) -> int:
+    relation = _load_input(args)
+    algo = make_algorithm(args.algorithm, time_limit=args.time_limit)
+    result = algo.discover(relation)
+    print(
+        f"{result.algorithm}: {result.fd_count} FDs in "
+        f"{result.elapsed_seconds:.3f}s on {relation.n_rows} rows x "
+        f"{relation.n_cols} cols"
+    )
+    if args.show_fds:
+        for line in result.format_fds():
+            print(" ", line)
+    return 0
+
+
+def _cmd_rank(args: argparse.Namespace) -> int:
+    relation = _load_input(args)
+    outcome = profile(relation, algorithm=args.algorithm, time_limit=args.time_limit)
+    print(outcome.summary())
+    print()
+    assert outcome.ranking is not None
+    top = outcome.ranking.top(args.top)
+    rows = [
+        (
+            ranked.fd.format(relation.schema),
+            ranked.redundancy,
+            ranked.redundancy_excluding_null,
+        )
+        for ranked in top
+    ]
+    print(format_table(["FD", "#red+0", "#red"], rows, title="Top-ranked FDs"))
+    return 0
+
+
+def _cmd_covers(args: argparse.Namespace) -> int:
+    relation = _load_input(args)
+    algo = make_algorithm(args.algorithm, time_limit=args.time_limit)
+    result = algo.discover(relation)
+    _, comparison = compare_covers(result.fds)
+    rows = [
+        ("left-reduced |Σ|", comparison.left_reduced_count),
+        ("left-reduced ||Σ||", comparison.left_reduced_occurrences),
+        ("canonical |Σ|", comparison.canonical_count),
+        ("canonical ||Σ||", comparison.canonical_occurrences),
+        ("%Size", f"{comparison.size_percent:.0f}%"),
+        ("%Card", f"{comparison.occurrence_percent:.0f}%"),
+        ("cover time", f"{comparison.seconds:.4f}s"),
+    ]
+    print(format_table(["metric", "value"], rows, title="Cover comparison"))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .profiling.report import markdown_report
+
+    relation = _load_input(args)
+    outcome = profile(relation, algorithm=args.algorithm, time_limit=args.time_limit)
+    text = markdown_report(outcome, title=args.title)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote report to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_normalize(args: argparse.Namespace) -> int:
+    from .normalize import (
+        candidate_keys,
+        check_3nf,
+        check_bcnf,
+        is_lossless_join,
+        preserves_dependencies,
+        synthesize_3nf,
+    )
+    from .covers.canonical import canonical_cover
+
+    relation = _load_input(args)
+    algo = make_algorithm(args.algorithm, time_limit=args.time_limit)
+    discovered = algo.discover(relation)
+    cover = list(canonical_cover(discovered.fds))
+    n_cols = relation.n_cols
+    schema = relation.schema
+
+    keys = candidate_keys(n_cols, cover)
+    print("candidate keys:")
+    for key in keys:
+        print("  ", schema.format_attr_set(key))
+    bcnf = check_bcnf(n_cols, cover)
+    third = check_3nf(n_cols, cover)
+    print(f"BCNF: {bcnf.satisfied}   3NF: {third.satisfied}")
+    for violation in bcnf.violations[: args.top]:
+        print("  BCNF violation:", violation.format(schema))
+
+    decomposition = synthesize_3nf(n_cols, cover)
+    print("3NF synthesis:")
+    for fragment in decomposition.format(schema):
+        print("  table(", fragment, ")")
+    print(
+        "lossless join:",
+        is_lossless_join(n_cols, cover, decomposition),
+        "  dependency preserving:",
+        preserves_dependencies(cover, decomposition),
+    )
+    return 0
+
+
+def _cmd_keys(args: argparse.Namespace) -> int:
+    from .ucc import discover_uccs
+
+    relation = _load_input(args)
+    result = discover_uccs(relation, time_limit=args.time_limit)
+    if not result.uccs:
+        print(
+            "no unique column combinations (the relation contains duplicate rows)"
+        )
+        return 0
+    print(
+        f"{len(result.uccs)} minimal unique column combination(s) in "
+        f"{result.elapsed_seconds:.3f}s "
+        f"({result.rounds} rounds, {result.validations} validations):"
+    )
+    for line in result.format():
+        print("  ", line)
+    return 0
+
+
+def _cmd_datasets(_: argparse.Namespace) -> int:
+    rows = []
+    for name in benchmark_names():
+        spec = get_spec(name)
+        rows.append(
+            (
+                spec.name,
+                f"{spec.paper_rows}x{spec.paper_cols}",
+                spec.paper_fds if spec.paper_fds is not None else "-",
+                spec.bench_rows,
+                "yes" if spec.has_nulls else "no",
+                spec.description,
+            )
+        )
+    print(
+        format_table(
+            ["name", "paper shape", "#FD", "bench rows", "nulls", "description"],
+            rows,
+            title="Benchmark replicas",
+        )
+    )
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    relation = load_benchmark(args.benchmark, n_rows=args.rows, seed=args.seed)
+    write_csv(relation, args.output)
+    print(
+        f"wrote {relation.n_rows} rows x {relation.n_cols} cols to {args.output}"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-fd",
+        description="FD discovery and ranking (Wei & Link, ICDE 2019 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    discover = sub.add_parser("discover", help="run FD discovery")
+    _add_input_args(discover)
+    discover.add_argument("--algorithm", default="dhyfd", choices=algorithm_names())
+    discover.add_argument("--time-limit", type=float, default=None)
+    discover.add_argument("--show-fds", action="store_true")
+    discover.set_defaults(handler=_cmd_discover)
+
+    rank = sub.add_parser("rank", help="discover + canonical cover + ranking")
+    _add_input_args(rank)
+    rank.add_argument("--algorithm", default="dhyfd", choices=algorithm_names())
+    rank.add_argument("--time-limit", type=float, default=None)
+    rank.add_argument("--top", type=int, default=15)
+    rank.set_defaults(handler=_cmd_rank)
+
+    covers = sub.add_parser("covers", help="left-reduced vs canonical cover")
+    _add_input_args(covers)
+    covers.add_argument("--algorithm", default="dhyfd", choices=algorithm_names())
+    covers.add_argument("--time-limit", type=float, default=None)
+    covers.set_defaults(handler=_cmd_covers)
+
+    report = sub.add_parser("report", help="full markdown data profile")
+    _add_input_args(report)
+    report.add_argument("--algorithm", default="dhyfd", choices=algorithm_names())
+    report.add_argument("--time-limit", type=float, default=None)
+    report.add_argument("--title", default="Data profile")
+    report.add_argument("--output", default=None, help="write to file")
+    report.set_defaults(handler=_cmd_report)
+
+    normalize = sub.add_parser(
+        "normalize", help="keys, normal forms, 3NF synthesis"
+    )
+    _add_input_args(normalize)
+    normalize.add_argument("--algorithm", default="dhyfd", choices=algorithm_names())
+    normalize.add_argument("--time-limit", type=float, default=None)
+    normalize.add_argument("--top", type=int, default=10)
+    normalize.set_defaults(handler=_cmd_normalize)
+
+    keys = sub.add_parser("keys", help="minimal unique column combinations")
+    _add_input_args(keys)
+    keys.add_argument("--time-limit", type=float, default=None)
+    keys.set_defaults(handler=_cmd_keys)
+
+    datasets = sub.add_parser("datasets", help="list benchmark replicas")
+    datasets.set_defaults(handler=_cmd_datasets)
+
+    generate = sub.add_parser("generate", help="write a replica to CSV")
+    generate.add_argument("--benchmark", required=True, choices=benchmark_names())
+    generate.add_argument("--rows", type=int, default=None)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--output", required=True)
+    generate.set_defaults(handler=_cmd_generate)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""DHyFD core: sampling, validation, DDM, ratio decision, driver."""
+
+from .base import Deadline, DiscoveryAlgorithm, TimeLimitExceeded
+from .ddm import DynamicDataManager
+from .dhyfd import DHyFD
+from .ratio import DEFAULT_RATIO_THRESHOLD, LevelDecision
+from .result import DiscoveryResult, DiscoveryStats
+from .sampling import AgreeSetSampler, all_agree_sets, initial_sample
+from .validation import ValidationResult, check_fd, validate_fd
+
+__all__ = [
+    "AgreeSetSampler",
+    "DEFAULT_RATIO_THRESHOLD",
+    "DHyFD",
+    "Deadline",
+    "DiscoveryAlgorithm",
+    "DiscoveryResult",
+    "DiscoveryStats",
+    "DynamicDataManager",
+    "LevelDecision",
+    "TimeLimitExceeded",
+    "ValidationResult",
+    "all_agree_sets",
+    "check_fd",
+    "initial_sample",
+    "validate_fd",
+]

@@ -1,0 +1,80 @@
+"""Common driver for FD-discovery algorithms: timing, time limits.
+
+Every algorithm (DHyFD and the baselines in :mod:`repro.algorithms`)
+subclasses :class:`DiscoveryAlgorithm` and implements ``_find_fds``.
+The base class measures wall-clock time and converts a configured time
+limit into a deadline the subclass polls — reproducing the paper's
+"TL" (time limit) entries in Table II.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from typing import Optional, Tuple
+
+from ..relational.fd import FDSet
+from ..relational.relation import Relation
+from .result import DiscoveryResult, DiscoveryStats
+
+
+class TimeLimitExceeded(Exception):
+    """Raised inside a discovery run when the configured limit passes."""
+
+    def __init__(self, algorithm: str, limit_seconds: float):
+        super().__init__(f"{algorithm} exceeded its time limit of {limit_seconds}s")
+        self.algorithm = algorithm
+        self.limit_seconds = limit_seconds
+
+
+class Deadline:
+    """A poll-style deadline; cheap enough to check in inner loops."""
+
+    __slots__ = ("at", "algorithm", "limit_seconds")
+
+    def __init__(self, limit_seconds: Optional[float], algorithm: str):
+        self.limit_seconds = limit_seconds
+        self.algorithm = algorithm
+        self.at = None if limit_seconds is None else time.monotonic() + limit_seconds
+
+    def check(self) -> None:
+        """Raise :class:`TimeLimitExceeded` once the deadline has passed."""
+        if self.at is not None and time.monotonic() > self.at:
+            raise TimeLimitExceeded(self.algorithm, self.limit_seconds or 0.0)
+
+
+class DiscoveryAlgorithm(abc.ABC):
+    """Base class: subclasses find a left-reduced, singleton-RHS cover."""
+
+    #: Short identifier used in reports ("tane", "hyfd", "dhyfd", ...).
+    name: str = "abstract"
+
+    def __init__(self, time_limit: Optional[float] = None):
+        self.time_limit = time_limit
+
+    def discover(self, relation: Relation) -> DiscoveryResult:
+        """Run discovery and return the timed result.
+
+        Raises :class:`TimeLimitExceeded` when a time limit was set and
+        hit; callers that want "TL" table entries catch it.
+        """
+        deadline = Deadline(self.time_limit, self.name)
+        start = time.perf_counter()
+        fds, stats = self._find_fds(relation, deadline)
+        elapsed = time.perf_counter() - start
+        return DiscoveryResult(
+            algorithm=self.name,
+            schema=relation.schema,
+            fds=fds,
+            elapsed_seconds=elapsed,
+            stats=stats,
+        )
+
+    @abc.abstractmethod
+    def _find_fds(
+        self, relation: Relation, deadline: Deadline
+    ) -> Tuple[FDSet, DiscoveryStats]:
+        """Compute the cover; poll ``deadline.check()`` in long loops."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

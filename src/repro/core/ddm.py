@@ -1,0 +1,126 @@
+"""The dynamic data manager (DDM, paper §IV-E, Algorithm 3).
+
+The DDM owns two kinds of stripped partitions:
+
+* the pre-computed singleton partitions ``π_A`` for every attribute, and
+* a *dynamic array* of partitions, one per reusable node of the
+  extended FD-tree at the current controlled level ``cl``.
+
+Extended FD-tree node ids index into these: ``id < n_cols`` denotes
+``π_id`` (a singleton), ``id >= n_cols`` denotes ``dynamic[id - n_cols]``.
+When DHyFD decides (via the efficiency–inefficiency ratio) that deeper
+partitions will pay off, :meth:`DynamicDataManager.update` refines each
+reusable node's current partition up to the node's full path, replaces
+the dynamic array, and rewrites node ids — copying each new id to the
+node's descendants so property (8) of extended FD-trees keeps holding.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..fdtree.extended import ExtFDNode
+from ..partitions.stripped import StrippedPartition
+from ..relational import attrset
+from ..relational.attrset import AttrSet
+from ..relational.relation import Relation
+
+
+class DynamicDataManager:
+    """Manages singleton and dynamically refined stripped partitions."""
+
+    def __init__(self, relation: Relation):
+        self.relation = relation
+        self.n_cols = relation.n_cols
+        self.universal = StrippedPartition.universal(relation)
+        self.singletons: List[StrippedPartition] = [
+            StrippedPartition.for_attribute(relation, attr)
+            for attr in range(relation.n_cols)
+        ]
+        self.dynamic: List[StrippedPartition] = []
+        #: Number of Algorithm 3 runs (refinement rounds).
+        self.update_count = 0
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def partition_for_node(self, node: ExtFDNode) -> StrippedPartition:
+        """The partition a node's id denotes, with a consistency guard.
+
+        If a dynamic id turns out inconsistent (its partition is not
+        over a subset of the node's path — possible for nodes that kept
+        a stale inherited id), fall back to the cheapest singleton on
+        the path, mirroring the paper's default-id escape hatch.
+        """
+        if node.id >= self.n_cols:
+            index = node.id - self.n_cols
+            if index < len(self.dynamic):
+                partition = self.dynamic[index]
+                if attrset.is_subset(partition.attrs, node.path()):
+                    return partition
+        return self.best_singleton(node.path())
+
+    def best_singleton(self, path: AttrSet) -> StrippedPartition:
+        """The smallest-``||π_A||`` singleton partition with A on the path.
+
+        This is line 16 of Algorithm 6: before a default-id node is
+        validated, pick the cheapest starting partition among its own
+        LHS attributes (an empty path gets the universal partition).
+        """
+        best: Optional[StrippedPartition] = None
+        for attr in attrset.iter_attrs(path):
+            candidate = self.singletons[attr]
+            if best is None or candidate.size < best.size:
+                best = candidate
+        return best if best is not None else self.universal
+
+    # ------------------------------------------------------------------
+    # Algorithm 3 — refine the dynamic array to a new controlled level
+    # ------------------------------------------------------------------
+
+    def update(self, nodes: Sequence[ExtFDNode]) -> None:
+        """Refine partitions for ``nodes`` (the reusable nodes at vl).
+
+        For each node the refinement starts from whatever its current
+        id already denotes — a dynamic partition from the previous
+        controlled level, or the best singleton — so work done at
+        earlier levels is reused, never repeated.
+        """
+        new_array: List[StrippedPartition] = []
+        for node in nodes:
+            path = node.path()
+            base = self.partition_for_node(node)
+            partition = base.refine_many(
+                self.relation,
+                attrset.iter_attrs(attrset.difference(path, base.attrs)),
+            )
+            new_array.append(partition)
+            new_id = self.n_cols + len(new_array) - 1
+            _assign_id_to_subtree(node, new_id)
+        self.dynamic = new_array
+        self.update_count += 1
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    def memory_bytes(self) -> int:
+        """Approximate bytes held in singleton plus dynamic partitions."""
+        total = self.universal.memory_bytes()
+        total += sum(p.memory_bytes() for p in self.singletons)
+        total += sum(p.memory_bytes() for p in self.dynamic)
+        return total
+
+    def dynamic_memory_bytes(self) -> int:
+        """Bytes held by the dynamic array only (DHyFD's extra memory)."""
+        return sum(p.memory_bytes() for p in self.dynamic)
+
+
+def _assign_id_to_subtree(node: ExtFDNode, node_id: int) -> None:
+    """Set ``node_id`` on a node and all descendants (Algorithm 3 l.15)."""
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        current.id = node_id
+        stack.extend(current.children.values())

@@ -1,0 +1,170 @@
+"""DHyFD — the paper's dynamic hybrid FD-discovery algorithm (Alg. 6).
+
+The strategy in one paragraph: induct a first approximation of the FD
+set from one wide sampling round, then validate the extended FD-tree
+level by level.  Validation uses whatever stripped partition the DDM
+currently assigns to a node (a singleton at first), violations are fed
+back through synergized induction, and after each level the
+efficiency–inefficiency ratio decides whether the DDM should refine its
+partitions up to this level — switching to a row-based, memory-heavier
+mode exactly when the evidence says many FDs above will be *valid* and
+therefore worth the finer partitions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from ..fdtree.extended import ExtendedFDTree, ExtFDNode
+from ..fdtree.induction import synergized_induct
+from ..relational import attrset
+from ..relational.attrset import AttrSet
+from ..relational.fd import FDSet, normalize_singleton_cover
+from ..relational.relation import Relation
+from .base import Deadline, DiscoveryAlgorithm
+from .ddm import DynamicDataManager
+from .ratio import DEFAULT_RATIO_THRESHOLD, LevelDecision
+from .result import DiscoveryStats
+from .sampling import initial_sample
+from .validation import validate_fd
+
+
+class DHyFD(DiscoveryAlgorithm):
+    """Dynamic hybrid FD discovery (paper Algorithm 6)."""
+
+    name = "dhyfd"
+
+    def __init__(
+        self,
+        ratio_threshold: float = DEFAULT_RATIO_THRESHOLD,
+        time_limit: Optional[float] = None,
+        enable_ddm_updates: bool = True,
+        enable_initial_sampling: bool = True,
+    ):
+        """Args:
+            ratio_threshold: efficiency/inefficiency level above which
+                the DDM refines partitions (paper tunes this to 3.0).
+            time_limit: optional wall-clock cap in seconds.
+            enable_ddm_updates: ablation switch; False never refines,
+                so every validation starts from singleton partitions.
+            enable_initial_sampling: ablation switch; False skips the
+                one-shot sorted-neighborhood sample, so the first
+                FD-tree approximation comes from root validation alone
+                and every refinement burden falls on validation.
+        """
+        super().__init__(time_limit)
+        self.ratio_threshold = ratio_threshold
+        self.enable_ddm_updates = enable_ddm_updates
+        self.enable_initial_sampling = enable_initial_sampling
+
+    def _find_fds(
+        self, relation: Relation, deadline: Deadline
+    ) -> Tuple[FDSet, DiscoveryStats]:
+        stats = DiscoveryStats()
+        n_cols = relation.n_cols
+        all_attrs = attrset.full_set(n_cols)
+
+        ddm = DynamicDataManager(relation)
+        stats.partition_memory_peak_bytes = ddm.memory_bytes()
+        tree = ExtendedFDTree(n_cols)
+        tree.add_fd(attrset.EMPTY, all_attrs)
+
+        # --- one-shot sampling plus root validation (Alg. 6 lines 5-6)
+        violations: Set[AttrSet] = set()
+        if self.enable_initial_sampling:
+            violations |= initial_sample(relation, ddm.singletons)
+        stats.sampled_non_fds = len(violations)
+        root_check = validate_fd(relation, attrset.EMPTY, all_attrs, ddm.universal)
+        stats.comparisons += root_check.comparisons
+        stats.validations += 1
+        violations |= root_check.non_fd_lhs
+        applied: Set[AttrSet] = set()
+        self._induct_all(tree, violations, applied, 0, 0, None, stats, deadline)
+
+        controlled_level = 1
+        validation_level = 1
+        validated_fds = 0
+        candidates = tree.nodes_at_level(1)
+
+        while candidates:
+            deadline.check()
+            violations = set()
+            total = sum(attrset.count(node.rhs) for node in candidates)
+            vl_nodes: List[ExtFDNode] = list(candidates)
+
+            for node in candidates:
+                if node.deleted or not node.rhs:
+                    continue
+                partition = ddm.partition_for_node(node)
+                outcome = validate_fd(relation, node.path(), node.rhs, partition)
+                stats.validations += 1
+                stats.comparisons += outcome.comparisons
+                violations |= outcome.non_fd_lhs
+                deadline.check()
+
+            self._induct_all(
+                tree,
+                violations,
+                applied,
+                controlled_level,
+                validation_level,
+                vl_nodes,
+                stats,
+                deadline,
+            )
+
+            live = [node for node in candidates if not node.deleted]
+            reusables = [node for node in live if node.children]
+            valid_here = sum(attrset.count(node.rhs) for node in live)
+            validated_fds += valid_here
+            decision = LevelDecision(
+                level=validation_level,
+                total_candidates=total,
+                valid_fds=valid_here,
+                reusable_nodes=len(reusables),
+                fds_above=tree.fd_count - validated_fds,
+            )
+            stats.level_log.append(
+                {
+                    "level": validation_level,
+                    "candidates": total,
+                    "valid": valid_here,
+                    "efficiency": decision.efficiency,
+                    "inefficiency": decision.inefficiency,
+                    "ratio": min(decision.ratio, 1e9),
+                }
+            )
+            if self.enable_ddm_updates and decision.should_update(self.ratio_threshold):
+                controlled_level = validation_level
+                ddm.update(reusables)
+                stats.partition_refreshes += 1
+            stats.partition_memory_peak_bytes = max(
+                stats.partition_memory_peak_bytes, ddm.memory_bytes()
+            )
+            stats.levels_processed += 1
+            validation_level += 1
+            candidates = tree.nodes_at_level(validation_level)
+
+        return normalize_singleton_cover(tree.iter_fds()), stats
+
+    @staticmethod
+    def _induct_all(
+        tree: ExtendedFDTree,
+        violations: Set[AttrSet],
+        applied: Set[AttrSet],
+        cl: int,
+        vl: int,
+        vl_nodes: Optional[List[ExtFDNode]],
+        stats: DiscoveryStats,
+        deadline: Deadline,
+    ) -> None:
+        """Sort non-FDs by descending LHS size and induct the fresh ones."""
+        fresh = [lhs for lhs in violations if lhs not in applied]
+        fresh.sort(key=lambda lhs: (-attrset.count(lhs), lhs))
+        for count, lhs in enumerate(fresh):
+            if count % 64 == 0:
+                deadline.check()
+            applied.add(lhs)
+            rhs = attrset.complement(lhs, tree.n_cols)
+            synergized_induct(tree, lhs, rhs, cl, vl, vl_nodes)
+            stats.induction_calls += 1

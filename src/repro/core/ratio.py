@@ -1,0 +1,66 @@
+"""The efficiency–inefficiency ratio (paper §IV-G).
+
+At each validation level DHyFD must decide whether refining the DDM's
+stripped partitions to the current level is worth the memory:
+
+* *efficiency* — the fraction of this level's candidate FDs that
+  survived validation.  High efficiency means deeper levels likely hold
+  more valid FDs, and only valid FDs need full partition scans, so
+  finer partitions will pay off.
+* *inefficiency* — the fraction ``reusable nodes / FDs above this
+  level``.  A node is reusable iff it is not a leaf; if most FDs above
+  live under non-reusable (leaf) paths they cannot share refined
+  partitions, so refining would waste memory.
+
+Partitions are refreshed when ``efficiency / inefficiency`` exceeds a
+threshold; the paper tunes the threshold to 3.0 (Figure 6).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: The paper's tuned default (Figure 6: best overall at ratio ≈ 3).
+DEFAULT_RATIO_THRESHOLD = 3.0
+
+
+@dataclass(frozen=True)
+class LevelDecision:
+    """The ratio computation for one validation level."""
+
+    level: int
+    total_candidates: int
+    valid_fds: int
+    reusable_nodes: int
+    fds_above: int
+
+    @property
+    def efficiency(self) -> float:
+        """Valid FDs over all candidate FDs at this level."""
+        if self.total_candidates == 0:
+            return 0.0
+        return self.valid_fds / self.total_candidates
+
+    @property
+    def inefficiency(self) -> float:
+        """Reusable nodes over FDs residing above this level."""
+        if self.fds_above <= 0:
+            return 0.0
+        return self.reusable_nodes / self.fds_above
+
+    @property
+    def ratio(self) -> float:
+        """efficiency / inefficiency; infinite when nothing is above."""
+        ineff = self.inefficiency
+        if ineff == 0.0:
+            return math.inf if self.efficiency > 0.0 else 0.0
+        return self.efficiency / ineff
+
+    def should_update(self, threshold: float = DEFAULT_RATIO_THRESHOLD) -> bool:
+        """Refresh partitions? (Algorithm 6 line 26; never at level 1.)"""
+        if self.level <= 1:
+            return False
+        if self.reusable_nodes == 0:
+            return False
+        return self.ratio > threshold

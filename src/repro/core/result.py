@@ -1,0 +1,61 @@
+"""Discovery results and run statistics shared by all algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..relational.fd import FD, FDSet
+from ..relational.relation import Relation
+from ..relational.schema import RelationSchema
+
+
+@dataclass
+class DiscoveryStats:
+    """Work counters a discovery run may fill in (zero when untracked)."""
+
+    validations: int = 0
+    comparisons: int = 0
+    sampled_non_fds: int = 0
+    induction_calls: int = 0
+    levels_processed: int = 0
+    partition_refreshes: int = 0
+    partition_memory_peak_bytes: int = 0
+    strategy_switches: int = 0
+    level_log: List[Dict[str, float]] = field(default_factory=list)
+
+
+@dataclass
+class DiscoveryResult:
+    """The left-reduced cover found for a relation, plus provenance.
+
+    ``fds`` holds singleton-RHS FDs (the output form of the surveyed
+    algorithms); use :mod:`repro.covers` to derive canonical covers.
+    """
+
+    algorithm: str
+    schema: RelationSchema
+    fds: FDSet
+    elapsed_seconds: float = 0.0
+    peak_memory_bytes: int = 0
+    stats: DiscoveryStats = field(default_factory=DiscoveryStats)
+
+    @property
+    def fd_count(self) -> int:
+        """Number of FDs in the left-reduced cover (|L-r| in Table III)."""
+        return len(self.fds)
+
+    @property
+    def attribute_occurrences(self) -> int:
+        """Total attribute occurrences (||L-r|| in Table III)."""
+        return self.fds.attribute_occurrences
+
+    def format_fds(self) -> List[str]:
+        """Human-readable FD list using the schema's column names."""
+        return self.fds.format(self.schema)
+
+    def __repr__(self) -> str:
+        return (
+            f"DiscoveryResult({self.algorithm}: {self.fd_count} FDs in "
+            f"{self.elapsed_seconds:.3f}s)"
+        )

@@ -1,0 +1,138 @@
+"""Sorted-neighborhood non-FD sampling (paper §IV-B, HyFD [16]).
+
+Non-FDs are witnessed by tuple pairs: the agree set ``ag(t, t')`` of any
+two distinct rows implies the non-FD ``ag(t,t') ↛ R − ag(t,t')``.
+Comparing all ``O(|r|²)`` pairs is what makes FDEP row-bound, so the
+hybrid algorithms *sample* pairs instead: within each cluster of each
+singleton stripped partition, rows are sorted (the sorted-neighborhood
+method of Hernández & Stolfo) and each row is compared with its
+neighbour at distance ``w``.  Rows that share a value and sort next to
+each other are likely to agree on much more, so the sampled agree sets
+are large and each one kills many candidate FDs at once.
+
+DHyFD samples only once, with window 1, before its first validation
+round (re-sampling "would only cause computational overheads", §IV-H).
+HyFD keeps the sampler around and grows the window whenever validation
+invalidates too many FDs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..partitions.stripped import StrippedPartition
+from ..relational import attrset
+from ..relational.attrset import AttrSet
+from ..relational.relation import Relation
+
+
+class SampleStats:
+    """Bookkeeping for one sampling round."""
+
+    __slots__ = ("comparisons", "new_agree_sets")
+
+    def __init__(self, comparisons: int = 0, new_agree_sets: int = 0):
+        self.comparisons = comparisons
+        self.new_agree_sets = new_agree_sets
+
+    @property
+    def efficiency(self) -> float:
+        """New non-FDs per comparison; HyFD's switch signal."""
+        if self.comparisons == 0:
+            return 0.0
+        return self.new_agree_sets / self.comparisons
+
+
+class AgreeSetSampler:
+    """Progressive sorted-neighborhood sampler over singleton partitions."""
+
+    def __init__(self, relation: Relation, partitions: Sequence[StrippedPartition]):
+        self.relation = relation
+        self.matrix = relation.matrix()
+        self._full = attrset.full_set(relation.n_cols)
+        #: Per-attribute clusters with rows pre-sorted by full row content.
+        self._sorted_clusters: List[List[List[int]]] = []
+        row_keys = [row.tobytes() for row in self.matrix]
+        for partition in partitions:
+            clusters = [
+                sorted(cluster, key=lambda row: row_keys[row])
+                for cluster in partition.clusters
+            ]
+            self._sorted_clusters.append(clusters)
+        #: Next window distance to run, per attribute.
+        self._windows = [1] * len(self._sorted_clusters)
+        self.seen: Set[AttrSet] = set()
+
+    def sample_round(self) -> Tuple[Set[AttrSet], SampleStats]:
+        """Compare neighbours at each attribute's current window distance.
+
+        Returns the *new* agree sets found this round plus stats; the
+        per-attribute window then advances so the next round compares
+        strictly new pairs.
+        """
+        stats = SampleStats()
+        new_sets: Set[AttrSet] = set()
+        for attr, clusters in enumerate(self._sorted_clusters):
+            window = self._windows[attr]
+            for cluster in clusters:
+                for i in range(len(cluster) - window):
+                    row_a, row_b = cluster[i], cluster[i + window]
+                    stats.comparisons += 1
+                    agree = self._agree_mask(row_a, row_b)
+                    if agree != self._full and agree not in self.seen:
+                        # duplicate rows agree everywhere — a trivial
+                        # "non-FD" that cannot invalidate anything
+                        self.seen.add(agree)
+                        new_sets.add(agree)
+            self._windows[attr] = window + 1
+        stats.new_agree_sets = len(new_sets)
+        return new_sets, stats
+
+    def exhausted(self) -> bool:
+        """True when every cluster has been fully windowed."""
+        for attr, clusters in enumerate(self._sorted_clusters):
+            window = self._windows[attr]
+            if any(len(cluster) > window for cluster in clusters):
+                return False
+        return True
+
+    def _agree_mask(self, row_a: int, row_b: int) -> AttrSet:
+        equal = self.matrix[row_a] == self.matrix[row_b]
+        mask = attrset.EMPTY
+        for col in np.nonzero(equal)[0]:
+            mask = attrset.add(mask, int(col))
+        return mask
+
+
+def initial_sample(
+    relation: Relation, partitions: Sequence[StrippedPartition]
+) -> Set[AttrSet]:
+    """DHyFD's one-shot wide sample: a single window-1 round."""
+    sampler = AgreeSetSampler(relation, partitions)
+    agree_sets, _ = sampler.sample_round()
+    return agree_sets
+
+
+def all_agree_sets(relation: Relation) -> Set[AttrSet]:
+    """The exact agree-set cover from *all* distinct row pairs.
+
+    This is FDEP's quadratic negative-cover computation; only viable on
+    relations with modest row counts.  Trivial full-schema agree sets
+    from duplicate rows are dropped (they imply no non-FD).
+    """
+    matrix = relation.matrix()
+    n_rows = relation.n_rows
+    full = attrset.full_set(relation.n_cols)
+    agree_sets: Set[AttrSet] = set()
+    for i in range(n_rows):
+        row_i = matrix[i]
+        for j in range(i + 1, n_rows):
+            equal = row_i == matrix[j]
+            mask = attrset.EMPTY
+            for col in np.nonzero(equal)[0]:
+                mask = attrset.add(mask, int(col))
+            if mask != full:
+                agree_sets.add(mask)
+    return agree_sets

@@ -1,0 +1,28 @@
+"""FD covers: implication, left-reduction, canonical covers."""
+
+from .canonical import (
+    CoverComparison,
+    canonical_cover,
+    compare_covers,
+    is_left_reduced,
+    is_non_redundant,
+    left_reduce,
+    merge_same_lhs,
+    non_redundant_cover,
+)
+from .implication import ImplicationEngine, closure, equivalent, implies
+
+__all__ = [
+    "CoverComparison",
+    "ImplicationEngine",
+    "canonical_cover",
+    "closure",
+    "compare_covers",
+    "equivalent",
+    "implies",
+    "is_left_reduced",
+    "is_non_redundant",
+    "left_reduce",
+    "merge_same_lhs",
+    "non_redundant_cover",
+]

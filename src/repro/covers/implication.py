@@ -1,0 +1,165 @@
+"""FD implication via attribute-set closures.
+
+The closure of ``X`` under an FD set Σ is the largest ``X⁺`` with
+``Σ ⊨ X → X⁺``; Σ implies ``X → Y`` iff ``Y ⊆ X⁺``.  The
+:class:`ImplicationEngine` implements the counter (countdown) algorithm
+of Beeri & Bernstein with two engineering twists that make redundancy
+elimination over covers with tens of thousands of FDs affordable:
+
+* the per-FD LHS countdown runs vectorized — one
+  ``np.subtract.at`` per attribute entering the closure — instead of a
+  Python loop over every FD mentioning the attribute, and
+* the countdown buffer is rolled back after each closure (only touched
+  entries), so a closure costs what it visits, not ``O(|Σ|)``.
+
+Removal/exclusion of FDs uses a large counter offset: a blocked FD's
+countdown can never reach zero, so it never fires.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..relational import attrset
+from ..relational.attrset import AttrSet
+from ..relational.fd import FD
+
+#: Counter offset that keeps an FD from ever firing.
+_BLOCKED = 1 << 30
+
+
+class ImplicationEngine:
+    """Closure computation over a fixed FD list with dynamic removals."""
+
+    def __init__(self, fds: Sequence[FD]):
+        self.fds: List[FD] = list(fds)
+        n = len(self.fds)
+        #: RHS masks, indexable by FD position.
+        self._rhs: List[AttrSet] = [fd.rhs for fd in self.fds]
+        #: Template countdown = |LHS| per FD (plus _BLOCKED when removed).
+        self._template = np.array(
+            [fd.lhs_size for fd in self.fds], dtype=np.int64
+        )
+        by_attr: Dict[int, List[int]] = {}
+        self._empty_lhs: List[int] = []
+        for index, fd in enumerate(self.fds):
+            if fd.lhs == attrset.EMPTY:
+                self._empty_lhs.append(index)
+            for attr in attrset.iter_attrs(fd.lhs):
+                by_attr.setdefault(attr, []).append(index)
+        #: attr -> np array of FD indices whose LHS contains attr.
+        self._by_attr: Dict[int, np.ndarray] = {
+            attr: np.array(indices, dtype=np.int64)
+            for attr, indices in by_attr.items()
+        }
+        self._removed: set = set()
+        #: Working buffer, rolled back to the template after each closure.
+        self._counts = self._template.copy()
+
+    def remove(self, index: int) -> None:
+        """Permanently exclude the FD at ``index`` from future closures."""
+        if index not in self._removed:
+            self._removed.add(index)
+            self._template[index] += _BLOCKED
+            self._counts[index] += _BLOCKED
+
+    def restore(self, index: int) -> None:
+        """Undo a :meth:`remove`."""
+        if index in self._removed:
+            self._removed.discard(index)
+            self._template[index] -= _BLOCKED
+            self._counts[index] -= _BLOCKED
+
+    def active_indices(self) -> List[int]:
+        """Indices of FDs not removed, in input order."""
+        return [i for i in range(len(self.fds)) if i not in self._removed]
+
+    def closure(
+        self,
+        attrs: AttrSet,
+        exclude: Optional[int] = None,
+        until: Optional[AttrSet] = None,
+    ) -> AttrSet:
+        """``attrs⁺`` under the active FDs, optionally excluding one more.
+
+        ``until`` enables early exit: the computation stops as soon as
+        the partial closure contains that mask.  Redundancy elimination
+        over FD-rich covers lives on this — most FDs are redundant and
+        their RHS is reached after a tiny fraction of the full closure.
+        """
+        counts = self._counts
+        if exclude is not None:
+            counts[exclude] += _BLOCKED
+        touched: List[np.ndarray] = []
+        result = attrs
+        rhs_list = self._rhs
+        queue: List[int] = list(attrset.iter_attrs(attrs))
+        ready: List[int] = [
+            index
+            for index in self._empty_lhs
+            if index not in self._removed and index != exclude
+        ]
+
+        done = until is not None and attrset.is_subset(until, result)
+        while not done and (queue or ready):
+            while ready:
+                index = ready.pop()
+                new = rhs_list[index] & ~result
+                if new:
+                    result |= new
+                    queue.extend(attrset.iter_attrs(new))
+                    if until is not None and until & ~result == 0:
+                        done = True
+                        break
+            if done or not queue:
+                break
+            attr = queue.pop()
+            indices = self._by_attr.get(attr)
+            if indices is None:
+                continue
+            # each attr's index list is duplicate-free and each attr is
+            # dequeued at most once per closure, so plain fancy-indexed
+            # decrement is safe (and much faster than np.subtract.at)
+            counts[indices] -= 1
+            touched.append(indices)
+            fired = indices[counts[indices] == 0]
+            if len(fired):
+                ready.extend(fired.tolist())
+
+        # undo the temporary exclusion first, then roll back touched
+        # counters to the template (which overwrites the exclusion slot
+        # correctly whether or not it was decremented during the run)
+        if exclude is not None:
+            counts[exclude] -= _BLOCKED
+        template = self._template
+        for indices in touched:
+            counts[indices] = template[indices]
+        return result
+
+    def implies(self, fd: FD, exclude: Optional[int] = None) -> bool:
+        """Does the active FD set imply ``fd``? (early-exit closure)"""
+        return attrset.is_subset(
+            fd.rhs, self.closure(fd.lhs, exclude, until=fd.rhs)
+        )
+
+
+def closure(attrs: AttrSet, fds: Iterable[FD]) -> AttrSet:
+    """One-shot closure (builds a throwaway engine)."""
+    return ImplicationEngine(list(fds)).closure(attrs)
+
+
+def implies(fds: Iterable[FD], fd: FD) -> bool:
+    """One-shot implication test ``Σ ⊨ fd``."""
+    return ImplicationEngine(list(fds)).implies(fd)
+
+
+def equivalent(left: Iterable[FD], right: Iterable[FD]) -> bool:
+    """Are the two FD sets covers of each other?"""
+    left_list, right_list = list(left), list(right)
+    left_engine = ImplicationEngine(left_list)
+    right_engine = ImplicationEngine(right_list)
+    return all(left_engine.implies(fd) for fd in right_list) and all(
+        right_engine.implies(fd) for fd in left_list
+    )

@@ -1,0 +1,39 @@
+"""Data sets: synthetic generators and named benchmark replicas."""
+
+from .armstrong import armstrong_relation, closed_sets
+from .benchmarks import (
+    BenchmarkSpec,
+    benchmark_names,
+    get_spec,
+    load_benchmark,
+)
+from .ncvoter import NCVOTER_COLUMNS, ncvoter_like
+from .synthetic import (
+    constant_column_relation,
+    duplicate_template_relation,
+    fd_reduced_relation,
+    fd_rich_relation,
+    planted_fd_relation,
+    random_relation,
+    template_correlated_relation,
+    zipf_relation,
+)
+
+__all__ = [
+    "BenchmarkSpec",
+    "armstrong_relation",
+    "closed_sets",
+    "NCVOTER_COLUMNS",
+    "benchmark_names",
+    "constant_column_relation",
+    "duplicate_template_relation",
+    "fd_reduced_relation",
+    "fd_rich_relation",
+    "get_spec",
+    "load_benchmark",
+    "ncvoter_like",
+    "planted_fd_relation",
+    "random_relation",
+    "template_correlated_relation",
+    "zipf_relation",
+]

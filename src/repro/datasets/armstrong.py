@@ -1,0 +1,73 @@
+"""Armstrong relations: data sets realizing exactly a given FD set.
+
+An Armstrong relation for Σ satisfies every FD implied by Σ and
+violates every FD not implied by it (Lopes et al. [10] use them for
+profiling; we use them to round-trip the discovery pipeline).
+
+Construction: a *spine* row ``t0`` plus, for every closed attribute set
+``C ⊊ R`` (``C = C⁺``), one row agreeing with ``t0`` exactly on ``C``.
+Any two non-spine rows then agree exactly on the intersection of their
+closed sets (itself closed), so ``X → A`` is violated iff some closed
+``C ⊇ X`` misses ``A`` — which happens iff ``A ∉ X⁺``.  Closed sets
+are enumerated by closing all subsets of ``R``, so the construction is
+exponential and guarded to small schemas (the intended use is testing
+and examples).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Set
+
+from ..covers.implication import ImplicationEngine
+from ..relational import attrset
+from ..relational.attrset import AttrSet
+from ..relational.fd import FD
+from ..relational.relation import Relation
+from ..relational.schema import RelationSchema
+
+#: Enumerating closed sets walks all 2^n subsets; keep schemas small.
+MAX_ARMSTRONG_COLS = 16
+
+
+def closed_sets(n_cols: int, fds: Sequence[FD]) -> List[AttrSet]:
+    """All closed attribute sets ``C = C⁺`` strictly below ``R``."""
+    if n_cols > MAX_ARMSTRONG_COLS:
+        raise ValueError(
+            f"closed-set enumeration is exponential; max {MAX_ARMSTRONG_COLS} columns"
+        )
+    engine = ImplicationEngine(list(fds))
+    full = attrset.full_set(n_cols)
+    closed: Set[AttrSet] = set()
+    for subset in attrset.iter_subsets(full):
+        closure = engine.closure(subset)
+        if closure != full:
+            closed.add(closure)
+    return sorted(closed)
+
+
+def armstrong_relation(
+    n_cols: int,
+    fds: Iterable[FD],
+    schema: "RelationSchema | None" = None,
+) -> Relation:
+    """Build an Armstrong relation for ``fds`` over ``n_cols`` columns.
+
+    The relation has ``#closed_sets + 1`` rows (the spine plus one per
+    closed set); every implied FD holds, every non-implied FD is
+    violated by the (spine, closed-set) pair.  When Σ implies
+    ``∅ → R`` there are no closed sets and the spine alone realizes Σ.
+    """
+    fd_list = list(fds)
+    sets = closed_sets(n_cols, fd_list)
+    if schema is None:
+        schema = RelationSchema.of_width(n_cols)
+
+    spine = [f"spine_{col}" for col in range(n_cols)]
+    rows: List[List[object]] = [spine]
+    for index, closed in enumerate(sets):
+        row = list(spine)
+        for col in range(n_cols):
+            if not attrset.contains(closed, col):
+                row[col] = f"x{index}_{col}"
+        rows.append(row)
+    return Relation.from_rows(rows, schema)

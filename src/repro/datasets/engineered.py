@@ -1,0 +1,294 @@
+"""Engineered relations with exactly-controlled FD structure.
+
+Independent random columns cannot replicate FD-*sparse* benchmarks
+(weather, pdbx, lineitem, ...): at any bench scale there is a lattice
+level where attribute combinations become accidentally unique, and the
+accidental keys flood the output with FDs the real data set does not
+have.  Real data avoids this through massive value-combination reuse.
+
+:func:`engineered_relation` solves the control problem directly.  The
+valid minimal FDs of its output are exactly:
+
+* one FD ``X* -> A`` per planted ``(lhs, rhs)`` pair (RHS values are a
+  deterministic function of the LHS values), and
+* ``K -> B`` for every planted key ``K`` and column ``B ∉ K`` (key
+  combinations are unique by construction).
+
+Everything else is *killed* by injected twin rows: for every column
+``A`` (and, for planted/key structure, every way an LHS could dodge
+it) a pair of rows is added that agrees everywhere except on a small,
+chosen difference set containing ``A``.  Each such pair is a
+ground-truth violation of all FDs ``X -> A`` with ``X`` inside the
+agree set, so no accidental FD or accidental key can survive.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..relational.null import NULL
+from ..relational.relation import Relation
+from ..relational.schema import RelationSchema
+
+
+class EngineeringError(ValueError):
+    """Raised when the requested FD structure is inconsistent."""
+
+
+def engineered_relation(
+    n_rows: int,
+    n_cols: int,
+    keys: Sequence[Sequence[int]] = (),
+    planted: Sequence[Tuple[Sequence[int], int]] = (),
+    domains: int = 12,
+    derived_domain: Optional[int] = None,
+    duplicate_factor: float = 0.0,
+    null_rates: Optional[Dict[int, float]] = None,
+    seed: int = 0,
+) -> Relation:
+    """Build a relation whose minimal FDs are exactly the requested ones.
+
+    Args:
+        n_rows: number of base rows (twins and duplicates add a few
+            percent on top).
+        n_cols: schema width.
+        keys: column sets to make unique (pairwise disjoint; at most
+            3 recommended — twin count grows with their product).
+        planted: ``(lhs, rhs)`` FDs; LHSs must be pairwise disjoint,
+            drawn from base columns only (not key or derived columns).
+        domains: domain size of plain base columns.
+        derived_domain: codomain size for derived columns (defaults to
+            ``max(4, int(n_rows ** 0.5))``); must be small enough that
+            the derived column does not accidentally determine its
+            sources.
+        duplicate_factor: fraction of extra exact-duplicate rows to
+            append (no FD effect; enriches redundancy counts).
+        null_rates: per-column null probability — allowed only on
+            columns not involved in keys or planted FDs, so the nulls
+            never disturb the engineered structure.
+        seed: RNG seed; output is deterministic in all arguments.
+
+    Exactness guarantee: under ``null = null`` semantics the minimal
+    FDs of the output are exactly :func:`expected_fds`.  Under
+    ``null ≠ null`` the same holds unless *both* nulls and duplicates
+    are enabled: a duplicated row containing a null then genuinely
+    violates ``key -> nulled column`` (the two null occurrences count
+    as different values), so those key FDs correctly disappear.
+    """
+    rng = random.Random(seed)
+    null_rates = dict(null_rates or {})
+    if derived_domain is None:
+        derived_domain = max(4, int(n_rows ** 0.5))
+
+    key_cols = _validate(n_cols, keys, planted, null_rates)
+    derived = {rhs: list(lhs) for lhs, rhs in planted}
+
+    fresh_counter = itertools.count()
+
+    def fresh(prefix: str) -> str:
+        return f"{prefix}!{next(fresh_counter)}"
+
+    # ------------------------------------------------------------------
+    # Base rows
+    # ------------------------------------------------------------------
+    value_maps: Dict[int, Dict[Tuple[object, ...], str]] = {c: {} for c in derived}
+
+    def derive(col: int, row: List[object]) -> str:
+        source = tuple(row[c] for c in derived[col])
+        mapping = value_maps[col]
+        if source not in mapping:
+            mapping[source] = f"d{col}_{len(mapping) % derived_domain}"
+        return mapping[source]
+
+    side = max(2, int(n_rows ** 0.5) + 1)
+    rows: List[List[object]] = []
+    for index in range(n_rows):
+        row: List[object] = [None] * n_cols
+        for key_index, key in enumerate(keys):
+            parts = _mixed_radix(index, len(key), side)
+            for position, col in enumerate(key):
+                row[col] = f"k{key_index}.{position}_{parts[position]}"
+        for col in range(n_cols):
+            if row[col] is None and col not in derived:
+                row[col] = f"b{col}_{rng.randrange(domains)}"
+        for col in derived:
+            row[col] = derive(col, row)
+        rows.append(row)
+
+    # ------------------------------------------------------------------
+    # Twin rows: one violating pair per (column, dodge combination)
+    # ------------------------------------------------------------------
+    # Every twin must break every key (otherwise it would duplicate a
+    # key combination); ``key_breaks`` enumerates which one column of
+    # each key the twin refreshes.
+    key_breaks: List[List[int]] = [
+        list(combo) for combo in itertools.product(*[list(k) for k in keys])
+    ] or [[]]
+
+    #: Base-row indices used as twin partners: they must stay exactly as
+    #: generated (no nulls later), or the violating pair's agree set
+    #: would shrink and the kill would weaken.
+    protected: set = set()
+
+    def add_twin(
+        base_index: int,
+        changes: Dict[int, str],
+        moving_derived: Optional[int] = None,
+    ) -> None:
+        """Append the twin of base row ``base_index`` (a violating pair).
+
+        The twin differs from the base on exactly ``changes`` plus
+        ``moving_derived`` (when set).  Derived columns whose sources
+        the changes touch are *pinned* to the base value by force-
+        registering the new (necessarily fresh) source tuple in the
+        value map — otherwise the recomputed derived value would leak
+        into the difference set and weaken the kill.
+        """
+        protected.add(base_index)
+        base = rows[base_index]
+        twin = list(base)
+        for col, value in changes.items():
+            twin[col] = value
+        for col, sources in derived.items():
+            if not any(s in changes for s in sources):
+                continue
+            source = tuple(twin[c] for c in sources)
+            mapping = value_maps[col]
+            if col == moving_derived:
+                twin[col] = derive(col, twin)
+            else:
+                # ``source`` contains a fresh value, so it cannot have
+                # been seen before; pin it to the base value.
+                mapping.setdefault(source, base[col])
+                twin[col] = mapping[source]
+        rows.append(twin)
+
+    for col in range(n_cols):
+        if col in derived:
+            # Change one LHS source (so the planted FD is respected)
+            # and pick fresh sources until the derived value moves.
+            for source_col in derived[col]:
+                for breaks in key_breaks:
+                    base_index = rng.randrange(n_rows)
+                    base = rows[base_index]
+                    changes = {
+                        k: fresh(f"k{k}") for k in breaks if k != source_col
+                    }
+                    probe = list(base)
+                    for change_col, value in changes.items():
+                        probe[change_col] = value
+                    while True:
+                        candidate = fresh(f"b{source_col}")
+                        probe[source_col] = candidate
+                        if derive(col, probe) != base[col]:
+                            changes[source_col] = candidate
+                            break
+                    add_twin(base_index, changes, moving_derived=col)
+        else:
+            for breaks in key_breaks:
+                base_index = rng.randrange(n_rows)
+                changes = {k: fresh(f"k{k}") for k in breaks if k != col}
+                changes[col] = fresh(f"c{col}")
+                add_twin(base_index, changes)
+
+    # ------------------------------------------------------------------
+    # Nulls (unprotected base rows only — twin pairs stay null-free so
+    # their kills are exact under both null semantics), then exact
+    # duplicates (redundancy fodder, no FD effect).
+    # ------------------------------------------------------------------
+    if null_rates:
+        for index in range(n_rows):
+            if index in protected:
+                continue
+            for col, rate in null_rates.items():
+                if rng.random() < rate:
+                    rows[index][col] = NULL
+
+    n_duplicates = int(duplicate_factor * n_rows)
+    for _ in range(n_duplicates):
+        rows.append(list(rng.choice(rows[:n_rows])))
+
+    return Relation.from_rows(rows, RelationSchema.of_width(n_cols))
+
+
+def expected_fds(
+    n_cols: int,
+    keys: Sequence[Sequence[int]] = (),
+    planted: Sequence[Tuple[Sequence[int], int]] = (),
+) -> List[Tuple[Tuple[int, ...], int]]:
+    """The minimal FDs :func:`engineered_relation` is designed to satisfy.
+
+    Returns ``(lhs_columns, rhs_column)`` pairs: one per planted FD and
+    one per (key, non-member column) combination.
+    """
+    result: List[Tuple[Tuple[int, ...], int]] = [
+        (tuple(sorted(lhs)), rhs) for lhs, rhs in planted
+    ]
+    for key in keys:
+        members = set(key)
+        for col in range(n_cols):
+            if col not in members:
+                result.append((tuple(sorted(key)), col))
+    return sorted(set(result))
+
+
+def _mixed_radix(index: int, length: int, base: int) -> List[int]:
+    """Split ``index`` into ``length`` digits so the tuple is unique."""
+    if length == 1:
+        return [index]
+    digits = []
+    remaining = index
+    for _ in range(length - 1):
+        digits.append(remaining % base)
+        remaining //= base
+    digits.append(remaining)
+    return digits
+
+
+def _validate(
+    n_cols: int,
+    keys: Sequence[Sequence[int]],
+    planted: Sequence[Tuple[Sequence[int], int]],
+    null_rates: Dict[int, float],
+) -> set:
+    """Check structural constraints; return the set of key columns."""
+    key_cols: set = set()
+    for key in keys:
+        if not key:
+            raise EngineeringError("keys must be non-empty")
+        members = set(key)
+        if not members.isdisjoint(key_cols):
+            raise EngineeringError("keys must be pairwise disjoint")
+        if any(not 0 <= c < n_cols for c in members):
+            raise EngineeringError("key column out of range")
+        key_cols |= members
+
+    derived_cols = set()
+    lhs_cols: set = set()
+    for lhs, rhs in planted:
+        lhs_set = set(lhs)
+        if not lhs_set:
+            raise EngineeringError("planted FDs need a non-empty LHS")
+        if rhs in lhs_set:
+            raise EngineeringError("planted FD may not be trivial")
+        if rhs in derived_cols:
+            raise EngineeringError(f"column {rhs} derived twice")
+        if not lhs_set.isdisjoint(lhs_cols):
+            raise EngineeringError("planted LHSs must be pairwise disjoint")
+        if not lhs_set.isdisjoint(key_cols) or rhs in key_cols:
+            raise EngineeringError("planted FDs may not touch key columns")
+        derived_cols.add(rhs)
+        lhs_cols |= lhs_set
+    if not lhs_cols.isdisjoint(derived_cols):
+        raise EngineeringError("planted LHSs may not include derived columns")
+
+    structural = key_cols | derived_cols | lhs_cols
+    for col in null_rates:
+        if col in structural:
+            raise EngineeringError(
+                f"null injection on structural column {col} would break the"
+                " engineered FDs"
+            )
+    return key_cols

@@ -1,0 +1,145 @@
+"""A deterministic ncvoter-style replica (paper Table I / §VI-B).
+
+The paper's running example is the ncvoter benchmark: 1,000 rows and 19
+columns of North-Carolina voter registrations with a near-key voter id,
+a constant state, zip codes that mostly determine cities, mostly-null
+name suffixes, and a couple of dirty duplicate rows.  This generator
+reproduces those *relationships* with synthetic vocabularies so the
+qualitative analyses (σ1–σ4, the city-determinant table) have the
+structure they need.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..relational.null import NULL
+from ..relational.relation import Relation
+from ..relational.schema import RelationSchema
+
+NCVOTER_COLUMNS = [
+    "voter_id",
+    "first_name",
+    "middle_name",
+    "last_name",
+    "name_suffix",
+    "age",
+    "gender",
+    "street_address",
+    "city",
+    "state",
+    "zip_code",
+    "full_phone_num",
+    "race",
+    "ethnic",
+    "party",
+    "reg_status",
+    "precinct",
+    "register_date",
+    "download_month",
+]
+
+_FIRST_NAMES = [
+    "joseph", "essie", "lila", "sallie", "herbert", "barbara", "albert",
+    "clyde", "louise", "walter", "christine", "mary", "james", "linda",
+    "robert", "patricia", "john", "jennifer", "michael", "elizabeth",
+]
+_LAST_NAMES = [
+    "cox", "warren", "morris", "futrell", "johnson", "davenport", "hurst",
+    "smith", "brown", "jones", "miller", "davis", "wilson", "moore",
+]
+_SUFFIXES = ["jr", "sr", "ii", "iii"]
+_RACES = ["w", "b", "a", "o"]
+_PARTIES = ["dem", "rep", "una", "lib"]
+
+
+def ncvoter_like(
+    n_rows: int = 1000,
+    seed: int = 0,
+    n_cities: int = 40,
+    dirty_duplicates: int = 1,
+) -> Relation:
+    """Generate an ncvoter-shaped relation.
+
+    Structural guarantees baked in:
+
+    * ``state`` is constant ("nc") — the paper's σ1 with ``n_rows``
+      redundant occurrences;
+    * ``voter_id`` is a key except for ``dirty_duplicates`` repeated ids
+      with differing street addresses — σ4's two redundant occurrences;
+    * each city has 1–2 zip codes and most zips map to one city, but a
+      few zips are shared between two cities, so ``zip_code`` alone does
+      not determine ``city`` while composites like
+      ``last_name, zip_code`` largely do — the σ2 pattern;
+    * ``name_suffix`` and ``middle_name`` are null-heavy, feeding the
+      σ3 "accidental FD" analysis;
+    * ``precinct`` is derived from (city, street) so genuine non-trivial
+      FDs exist for the covers experiments.
+    """
+    rng = random.Random(seed)
+    cities = [f"city{i}" for i in range(n_cities)]
+    # Zip assignment: most cities get their own zips; every 5th city
+    # shares a zip with its successor so zip alone is not a determinant.
+    zips_of_city: List[List[str]] = []
+    zip_counter = 27000
+    for i, _ in enumerate(cities):
+        if i % 5 == 1:
+            zips_of_city.append([zips_of_city[i - 1][0]])
+            continue
+        count = 1 + (i % 2)
+        zips_of_city.append([str(zip_counter + j) for j in range(count)])
+        zip_counter += count
+
+    streets_of_city = {
+        city: [f"{rng.randrange(1, 9999)} {word} st" for word in
+               rng.sample(["oak", "main", "elm", "pine", "maple", "hwy",
+                           "kimesville", "jefferson", "purvis", "gentry"], 6)]
+        for city in cities
+    }
+
+    rows: List[List[object]] = []
+    used_dirty = 0
+    for i in range(n_rows):
+        city_idx = rng.randrange(n_cities)
+        city = cities[city_idx]
+        zip_code = rng.choice(zips_of_city[city_idx])
+        street = rng.choice(streets_of_city[city])
+        first = rng.choice(_FIRST_NAMES)
+        last = rng.choice(_LAST_NAMES)
+        gender = "f" if first in _FIRST_NAMES[1::2] else "m"
+        suffix = rng.choice(_SUFFIXES) if rng.random() < 0.04 else NULL
+        middle = rng.choice(_FIRST_NAMES) if rng.random() < 0.5 else NULL
+        age = str(18 + rng.randrange(80))
+        phone = f"252{rng.randrange(10 ** 7):07d}" if rng.random() < 0.9 else NULL
+        precinct = f"p{city_idx}_{abs(streets_of_city[city].index(street))}"
+        rows.append([
+            str(i + 1),
+            first,
+            middle,
+            last,
+            suffix,
+            age,
+            gender,
+            street,
+            city,
+            "nc",
+            zip_code,
+            phone,
+            rng.choice(_RACES),
+            "ni" if rng.random() < 0.8 else "hl",
+            rng.choice(_PARTIES),
+            "a",
+            precinct,
+            f"200{rng.randrange(10)}-{1 + rng.randrange(12):02d}",
+            "2011-10",
+        ])
+        # Inject the σ4 dirty duplicate: same voter id, different street.
+        if used_dirty < dirty_duplicates and i == n_rows // 3:
+            dirty = list(rows[-1])
+            dirty[7] = rng.choice(streets_of_city[city])
+            dirty[16] = f"p{city_idx}_{streets_of_city[city].index(dirty[7])}"
+            rows.append(dirty)
+            used_dirty += 1
+    rows = rows[:n_rows]
+    return Relation.from_rows(rows, RelationSchema(NCVOTER_COLUMNS))

@@ -1,0 +1,288 @@
+"""Synthetic relation generators.
+
+The paper's evaluation uses real UCI/Metanome CSVs, which are not
+available offline.  These generators produce deterministic (seeded)
+relations in the same *regimes* — the properties that actually drive
+the relative behaviour of FD-discovery algorithms:
+
+* row count and column count,
+* per-column cardinality (which controls cluster sizes and hence both
+  partition memory and sampling quality),
+* planted exact FDs (low-level structure TANE finds fast),
+* accidental FDs from small domains (what makes wide, short data sets
+  like hepatitis/horse/flight exhibit 10⁴–10⁶ FDs), and
+* null rates.
+
+All generators return :class:`~repro.relational.relation.Relation`
+objects encoded under ``null = null`` semantics by default.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..relational.null import NULL, NullSemantics
+from ..relational.relation import Relation
+from ..relational.schema import RelationSchema
+
+
+def random_relation(
+    n_rows: int,
+    n_cols: int,
+    domain_sizes: Union[int, Sequence[int]] = 8,
+    null_rate: float = 0.0,
+    seed: int = 0,
+    semantics: Union[str, NullSemantics] = NullSemantics.EQ,
+) -> Relation:
+    """Independent uniform columns.
+
+    ``domain_sizes`` may be one int for all columns or one per column.
+    Small domains yield many accidental FDs; domains near ``n_rows``
+    yield near-keys and almost none.
+    """
+    rng = random.Random(seed)
+    if isinstance(domain_sizes, int):
+        sizes = [domain_sizes] * n_cols
+    else:
+        sizes = list(domain_sizes)
+        if len(sizes) != n_cols:
+            raise ValueError("need one domain size per column")
+    rows: List[List[object]] = []
+    for _ in range(n_rows):
+        row: List[object] = []
+        for col in range(n_cols):
+            if null_rate > 0.0 and rng.random() < null_rate:
+                row.append(NULL)
+            else:
+                row.append(f"v{rng.randrange(max(1, sizes[col]))}")
+        rows.append(row)
+    return Relation.from_rows(rows, RelationSchema.of_width(n_cols), semantics)
+
+
+def planted_fd_relation(
+    n_rows: int,
+    n_cols: int,
+    planted: Sequence[Tuple[Sequence[int], int]],
+    base_domain: int = 16,
+    noise_rate: float = 0.0,
+    null_rate: float = 0.0,
+    seed: int = 0,
+    semantics: Union[str, NullSemantics] = NullSemantics.EQ,
+) -> Relation:
+    """Random base columns plus columns derived to satisfy planted FDs.
+
+    Each ``(lhs_columns, rhs_column)`` entry makes the RHS column a
+    deterministic function of the LHS columns' values (so the FD holds
+    exactly), except that with probability ``noise_rate`` a row gets an
+    independent random value — turning the FD into a violated pattern,
+    useful for testing that discovery does *not* report it.
+    """
+    rng = random.Random(seed)
+    derived: Dict[int, Sequence[int]] = {}
+    for lhs, rhs in planted:
+        if rhs in derived:
+            raise ValueError(f"column {rhs} derived twice")
+        if rhs in lhs:
+            raise ValueError("a column cannot determine itself")
+        derived[rhs] = list(lhs)
+
+    # Deterministic per-column mapping from LHS value tuples to RHS
+    # values (Python's built-in hash is randomized per process).
+    value_maps: Dict[int, Dict[Tuple[object, ...], str]] = {
+        col: {} for col in derived
+    }
+
+    rows: List[List[object]] = []
+    for _ in range(n_rows):
+        row: List[object] = [None] * n_cols
+        for col in range(n_cols):
+            if col not in derived:
+                row[col] = f"v{rng.randrange(base_domain)}"
+        for col in range(n_cols):
+            if col in derived:
+                if noise_rate > 0.0 and rng.random() < noise_rate:
+                    row[col] = f"n{rng.randrange(base_domain)}"
+                else:
+                    source = tuple(row[c] for c in derived[col])
+                    mapping = value_maps[col]
+                    if source not in mapping:
+                        mapping[source] = f"d{len(mapping)}"
+                    row[col] = mapping[source]
+        if null_rate > 0.0:
+            for col in range(n_cols):
+                if rng.random() < null_rate:
+                    row[col] = NULL
+        rows.append(row)
+    return Relation.from_rows(rows, RelationSchema.of_width(n_cols), semantics)
+
+
+def fd_rich_relation(
+    n_rows: int,
+    n_cols: int,
+    domain_size: int = 3,
+    null_rate: float = 0.0,
+    seed: int = 0,
+    semantics: Union[str, NullSemantics] = NullSemantics.EQ,
+) -> Relation:
+    """Short-and-wide data over tiny domains.
+
+    With ``domain_size**k`` quickly exceeding ``n_rows``, most k-column
+    combinations become keys, so enormous numbers of accidental FDs
+    appear at middle lattice levels — the hepatitis/horse/flight
+    regime that row-based algorithms love and TANE cannot survive.
+    """
+    return random_relation(
+        n_rows, n_cols, domain_size, null_rate, seed, semantics
+    )
+
+
+def fd_reduced_relation(
+    n_rows: int,
+    n_cols: int = 30,
+    lhs_size: int = 3,
+    n_planted: int = 10,
+    base_domain: int = 12,
+    seed: int = 0,
+) -> Relation:
+    """A Metanome ``fd_reduced``-style generator.
+
+    All planted FDs have exactly ``lhs_size`` LHS attributes drawn from
+    the base columns, so valid FDs concentrate on one low lattice level
+    — the one regime where TANE shines in Table II.
+    """
+    rng = random.Random(seed)
+    n_base = n_cols - n_planted
+    if n_base < lhs_size:
+        raise ValueError("not enough base columns for the requested LHS size")
+    planted: List[Tuple[List[int], int]] = []
+    for rhs in range(n_base, n_cols):
+        lhs = sorted(rng.sample(range(n_base), lhs_size))
+        planted.append((lhs, rhs))
+    return planted_fd_relation(
+        n_rows, n_cols, planted, base_domain=base_domain, seed=seed
+    )
+
+
+def zipf_relation(
+    n_rows: int,
+    n_cols: int,
+    domain_sizes: Sequence[int],
+    skew: float = 1.2,
+    null_rate: float = 0.0,
+    seed: int = 0,
+) -> Relation:
+    """Columns with Zipf-skewed value frequencies.
+
+    Real categorical data is skewed: a few values dominate.  Skew makes
+    singleton-partition clusters uneven, which matters to the sorted
+    neighborhood sampler and to redundancy counts.
+    """
+    rng = random.Random(seed)
+    columns: Dict[str, List[object]] = {}
+    for col in range(n_cols):
+        size = max(1, domain_sizes[col])
+        weights = [1.0 / (rank + 1) ** skew for rank in range(size)]
+        values = rng.choices(range(size), weights=weights, k=n_rows)
+        columns[f"col{col}"] = [
+            NULL if null_rate > 0.0 and rng.random() < null_rate else f"v{v}"
+            for v in values
+        ]
+    return Relation.from_columns(columns)
+
+
+def constant_column_relation(
+    n_rows: int, n_cols: int, constant_cols: Iterable[int], seed: int = 0
+) -> Relation:
+    """Random data with some columns held constant (∅ -> A FDs)."""
+    rng = random.Random(seed)
+    constants = set(constant_cols)
+    rows = [
+        [
+            "fixed" if col in constants else f"v{rng.randrange(max(2, n_rows // 2))}"
+            for col in range(n_cols)
+        ]
+        for _ in range(n_rows)
+    ]
+    return Relation.from_rows(rows, RelationSchema.of_width(n_cols))
+
+
+def template_correlated_relation(
+    n_rows: int,
+    n_cols: int,
+    n_templates: int,
+    high_cards: Sequence[int] = (),
+    mutate_cols: Sequence[int] = (),
+    mutation_rate: float = 0.08,
+    null_rates: Optional[Dict[int, float]] = None,
+    seed: int = 0,
+) -> Relation:
+    """Wide data whose categorical block is drawn from few templates.
+
+    The first ``len(high_cards)`` columns are independent high-
+    cardinality columns; the remaining columns come from a pool of
+    ``n_templates`` template rows, with per-cell mutations applied to
+    ``mutate_cols`` (indices *within the template block*).  Because any
+    combination of template columns takes at most
+    ``n_templates × mutation variants`` distinct values, accidental
+    uniqueness — and with it the key explosion that plagues independent
+    wide columns — stays bounded even at thousands of rows.  This is
+    the correlation profile of real high-dimensional categorical data
+    (the paper's diabetic set).
+    """
+    rng = random.Random(seed)
+    n_high = len(high_cards)
+    n_tpl_cols = n_cols - n_high
+    if n_tpl_cols <= 0:
+        raise ValueError("need at least one template column")
+    templates = [
+        [
+            f"t{rng.randrange(8)}_{col}" if rng.random() < 0.7 else f"s{rng.randrange(3)}"
+            for col in range(n_tpl_cols)
+        ]
+        for _ in range(max(1, n_templates))
+    ]
+    rows: List[List[object]] = []
+    for _ in range(n_rows):
+        row: List[object] = [f"h{rng.randrange(max(1, card))}" for card in high_cards]
+        template = list(rng.choice(templates))
+        for col in mutate_cols:
+            if rng.random() < mutation_rate:
+                template[col] = f"m{rng.randrange(6)}"
+        row.extend(template)
+        if null_rates:
+            for col, rate in null_rates.items():
+                if rng.random() < rate:
+                    row[col] = NULL
+        rows.append(row)
+    return Relation.from_rows(rows, RelationSchema.of_width(n_cols))
+
+
+def duplicate_template_relation(
+    n_rows: int,
+    n_cols: int,
+    n_templates: int,
+    mutation_rate: float = 0.1,
+    null_rate: float = 0.0,
+    seed: int = 0,
+) -> Relation:
+    """Rows cloned from a template pool with per-cell mutations.
+
+    Mimics dirty real-world data (the merge/purge setting the sorted
+    neighborhood method was built for): near-duplicate rows produce
+    large, informative agree sets.
+    """
+    rng = random.Random(seed)
+    templates = [
+        [f"t{t}_{col}" for col in range(n_cols)] for t in range(max(1, n_templates))
+    ]
+    rows: List[List[object]] = []
+    for _ in range(n_rows):
+        row = list(rng.choice(templates))
+        for col in range(n_cols):
+            if rng.random() < mutation_rate:
+                row[col] = f"m{rng.randrange(n_rows)}"
+            if null_rate > 0.0 and rng.random() < null_rate:
+                row[col] = NULL
+        rows.append(row)
+    return Relation.from_rows(rows, RelationSchema.of_width(n_cols))

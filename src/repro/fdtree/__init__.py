@@ -1,0 +1,21 @@
+"""FD-trees: classical (FDEP) and the paper's extended FD-tree."""
+
+from .classic import ClassicFDTree, ClassicNode
+from .extended import ExtendedFDTree, ExtFDNode
+from .induction import (
+    classic_induct,
+    non_redundant_non_fds,
+    sort_non_fds,
+    synergized_induct,
+)
+
+__all__ = [
+    "ClassicFDTree",
+    "ClassicNode",
+    "ExtFDNode",
+    "ExtendedFDTree",
+    "classic_induct",
+    "non_redundant_non_fds",
+    "sort_non_fds",
+    "synergized_induct",
+]

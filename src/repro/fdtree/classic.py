@@ -1,0 +1,145 @@
+"""Classical FD-trees (Flach & Savnik [6]).
+
+In the classical tree every node carries the RHS attributes of *all*
+FDs in its subtree, not only of the FD ending at the node.  The paper
+(§IV-C, Figure 1) identifies this excessive labeling as overhead: the
+labels rarely prune searches yet must be maintained on every insert.
+
+We keep the labels conservative on removal (they are never shrunk when
+an FD disappears), which matches typical implementations — stale labels
+cost traversal time but never correctness, and reproducing that cost is
+the point of carrying this baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from ..relational import attrset
+from ..relational.attrset import AttrSet
+from ..relational.fd import FD
+
+ROOT_ATTR = -1
+
+
+class ClassicNode:
+    """A classical FD-tree node with propagated subtree RHS labels."""
+
+    __slots__ = ("attr", "parent", "children", "subtree_rhs", "fd_rhs")
+
+    def __init__(self, attr: int, parent: Optional["ClassicNode"]):
+        self.attr = attr
+        self.parent = parent
+        self.children: Dict[int, ClassicNode] = {}
+        #: RHS attrs of any FD at or below this node (conservative).
+        self.subtree_rhs: AttrSet = attrset.EMPTY
+        #: RHS attrs of FDs ending exactly at this node.
+        self.fd_rhs: AttrSet = attrset.EMPTY
+
+    def path(self) -> AttrSet:
+        """The attribute set spelled by the root-to-here path."""
+        mask = attrset.EMPTY
+        node: Optional[ClassicNode] = self
+        while node is not None and node.attr != ROOT_ATTR:
+            mask = attrset.add(mask, node.attr)
+            node = node.parent
+        return mask
+
+
+class ClassicFDTree:
+    """A classical FD-tree over ``n_cols`` attributes."""
+
+    def __init__(self, n_cols: int):
+        if n_cols <= 0:
+            raise ValueError("tree needs a positive number of columns")
+        self.n_cols = n_cols
+        self.root = ClassicNode(ROOT_ATTR, None)
+
+    def add_fd(self, lhs: AttrSet, rhs_attr: int) -> None:
+        """Insert ``lhs -> rhs_attr``, propagating the label along the path."""
+        bit = attrset.singleton(rhs_attr)
+        current = self.root
+        current.subtree_rhs |= bit
+        for attr in attrset.iter_attrs(lhs):
+            child = current.children.get(attr)
+            if child is None:
+                child = ClassicNode(attr, current)
+                current.children[attr] = child
+            child.subtree_rhs |= bit
+            current = child
+        current.fd_rhs |= bit
+
+    def contains_generalization(self, lhs: AttrSet, rhs_attr: int) -> bool:
+        """True iff some ``Z -> rhs_attr`` with ``Z ⊆ lhs`` is present.
+
+        Descends only into children whose subtree label mentions the
+        attribute — the classical pruning the labels exist for.
+        """
+        bit = attrset.singleton(rhs_attr)
+
+        def descend(node: ClassicNode, remaining: AttrSet) -> bool:
+            if node.fd_rhs & bit:
+                return True
+            sub = remaining
+            while sub:
+                attr = attrset.lowest(sub)
+                sub = attrset.remove(sub, attr)
+                child = node.children.get(attr)
+                if child is not None and child.subtree_rhs & bit:
+                    if descend(child, sub):
+                        return True
+            return False
+
+        return descend(self.root, lhs)
+
+    def remove_generalizations(self, lhs: AttrSet, rhs_attr: int) -> List[AttrSet]:
+        """Remove every ``Z -> rhs_attr`` with ``Z ⊆ lhs``; return the Zs.
+
+        Subtree labels are left stale on purpose (see module docstring).
+        """
+        bit = attrset.singleton(rhs_attr)
+        removed: List[AttrSet] = []
+
+        def descend(node: ClassicNode, remaining: AttrSet, path: AttrSet) -> None:
+            if node.fd_rhs & bit:
+                node.fd_rhs = attrset.difference(node.fd_rhs, bit)
+                removed.append(path)
+            sub = remaining
+            while sub:
+                attr = attrset.lowest(sub)
+                sub = attrset.remove(sub, attr)
+                child = node.children.get(attr)
+                if child is not None and child.subtree_rhs & bit:
+                    descend(child, sub, attrset.add(path, attr))
+
+        descend(self.root, lhs, attrset.EMPTY)
+        return removed
+
+    def iter_fds(self) -> Iterator[FD]:
+        """Yield all FDs stored in the tree."""
+        stack: List[ClassicNode] = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.fd_rhs:
+                yield FD(node.path(), node.fd_rhs)
+            stack.extend(node.children.values())
+
+    def fd_count(self) -> int:
+        """Number of (singleton-RHS) FDs in the tree."""
+        total = 0
+        stack: List[ClassicNode] = [self.root]
+        while stack:
+            node = stack.pop()
+            total += attrset.count(node.fd_rhs)
+            stack.extend(node.children.values())
+        return total
+
+    def node_count(self) -> int:
+        """Number of nodes excluding the root."""
+        total = 0
+        stack: List[ClassicNode] = [self.root]
+        while stack:
+            node = stack.pop()
+            total += len(node.children)
+            stack.extend(node.children.values())
+        return total

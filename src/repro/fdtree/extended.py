@@ -1,0 +1,277 @@
+"""Extended FD-trees (paper §IV-C, Algorithm 1).
+
+An extended FD-tree stores a set of FDs as paths of attribute nodes in
+ascending attribute order.  Unlike the classical FD-tree of Flach &
+Savnik, RHS labels live *only* at FD-nodes — the node where an FD's LHS
+path ends — which removes the label-propagation maintenance the paper
+identifies as the classical tree's main overhead.
+
+Every node carries an integer ``id``:
+
+* ``id < n_cols``  — the *default* id; it denotes the singleton stripped
+  partition of that attribute.
+* ``id >= n_cols`` — a *dynamic* id; ``id - n_cols`` indexes the dynamic
+  data manager's partition array (see :mod:`repro.core.ddm`), and the
+  indexed partition ``π_X'`` is guaranteed to satisfy ``X' ⊆ path``.
+
+Algorithm 1 keeps ids consistent while inserting FDs mid-discovery, and
+keeps the running list of validation-level nodes up to date so DHyFD
+never loses paths that induction creates at the current level
+(Example 2 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..relational import attrset
+from ..relational.attrset import AttrSet
+from ..relational.fd import FD
+
+ROOT_ATTR = -1
+
+
+class ExtFDNode:
+    """One node of an extended FD-tree.
+
+    ``rhs`` is non-empty exactly when this node is an FD-node: the FD
+    ``path(self) -> rhs`` is a member of the represented FD set.
+    """
+
+    __slots__ = ("attr", "parent", "children", "rhs", "id", "depth", "deleted")
+
+    def __init__(self, attr: int, parent: Optional["ExtFDNode"], node_id: int):
+        self.attr = attr
+        self.parent = parent
+        self.children: Dict[int, ExtFDNode] = {}
+        self.rhs: AttrSet = attrset.EMPTY
+        self.id = node_id
+        self.depth = 0 if parent is None else parent.depth + 1
+        self.deleted = False
+
+    @property
+    def is_fd_node(self) -> bool:
+        """True iff an FD ends at this node."""
+        return self.rhs != attrset.EMPTY
+
+    @property
+    def is_leaf(self) -> bool:
+        """True iff the node has no children (the paper's reusability test)."""
+        return not self.children
+
+    def path(self) -> AttrSet:
+        """The attribute set spelled by the root-to-here path."""
+        mask = attrset.EMPTY
+        node: Optional[ExtFDNode] = self
+        while node is not None and node.attr != ROOT_ATTR:
+            mask = attrset.add(mask, node.attr)
+            node = node.parent
+        return mask
+
+    def __repr__(self) -> str:
+        return f"ExtFDNode(attr={self.attr}, depth={self.depth}, rhs={bin(self.rhs)})"
+
+
+class ExtendedFDTree:
+    """An extended FD-tree over a schema of ``n_cols`` attributes."""
+
+    def __init__(self, n_cols: int):
+        if n_cols <= 0:
+            raise ValueError("tree needs a positive number of columns")
+        self.n_cols = n_cols
+        self.root = ExtFDNode(ROOT_ATTR, None, n_cols)  # root id is never used
+        #: Running total of FDs in the tree (Σ |rhs(n)|), the paper's |tree|.
+        self.fd_count = 0
+
+    # ------------------------------------------------------------------
+    # Insertion — Algorithm 1
+    # ------------------------------------------------------------------
+
+    def add_fd(
+        self,
+        lhs: AttrSet,
+        rhs: AttrSet,
+        cl: int = 0,
+        vl: int = 0,
+        vl_nodes: Optional[List[ExtFDNode]] = None,
+    ) -> ExtFDNode:
+        """Insert ``lhs -> rhs``, assigning consistent ids (Algorithm 1).
+
+        New nodes deeper than the controlled level ``cl`` inherit their
+        parent's id (the parent's partition attribute set is a subset of
+        any extension of the parent's path, so consistency is
+        preserved); nodes at depth <= ``cl`` fall back to the default
+        singleton id because inherited dynamic ids are not guaranteed to
+        reference subsets of the *new* path.  Nodes created at exactly
+        the validation level ``vl`` are appended to ``vl_nodes``.
+        """
+        current = self.root
+        depth = 0
+        for attr in attrset.iter_attrs(lhs):
+            depth += 1
+            child = current.children.get(attr)
+            if child is None:
+                child = ExtFDNode(attr, current, attr)
+                if depth > cl and current is not self.root:
+                    child.id = current.id
+                current.children[attr] = child
+                if vl_nodes is not None and depth == vl:
+                    vl_nodes.append(child)
+            current = child
+        added = attrset.difference(rhs, current.rhs)
+        current.rhs |= rhs
+        self.fd_count += attrset.count(added)
+        return current
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def find_covered(self, lhs: AttrSet, candidates: AttrSet) -> AttrSet:
+        """Return the candidate attrs ``B`` with some ``Z -> B``, ``Z ⊆ lhs``.
+
+        This is the minimal-RHS test of synergized induction: an FD
+        ``lhs -> B`` would be redundant iff ``B`` is in the returned set.
+        """
+        covered = attrset.EMPTY
+
+        def descend(node: ExtFDNode) -> None:
+            # Iterate the node's children (few) rather than the LHS
+            # attrs (possibly many); paths are strictly increasing so
+            # every path inside ``lhs`` is visited exactly once.
+            nonlocal covered
+            if node.rhs:
+                covered |= node.rhs & candidates
+            if covered == candidates:
+                return
+            for attr, child in node.children.items():
+                if lhs >> attr & 1:
+                    descend(child)
+                    if covered == candidates:
+                        return
+
+        descend(self.root)
+        return covered
+
+    def find_covered_requiring(
+        self, lhs: AttrSet, candidates: AttrSet, required: int
+    ) -> AttrSet:
+        """Like :meth:`find_covered`, restricted to paths through one attr.
+
+        Synergized induction checks whether the specialization
+        ``X'A' -> B`` is implied by a generalization ``Z -> B`` with
+        ``Z ⊆ X'A'``.  While the tree is minimal, any such ``Z`` must
+        contain ``A'`` (otherwise ``Z ⊆ X'`` would have made the FD
+        being specialized non-minimal already), so paths that cannot
+        pass through ``A'`` are pruned: attributes are ascending along
+        paths, so once the current attribute exceeds ``required``
+        without having met it, the whole subtree is skipped.
+        """
+        covered = attrset.EMPTY
+
+        def descend(node: ExtFDNode, has_required: bool) -> bool:
+            nonlocal covered
+            if has_required and node.rhs:
+                covered |= node.rhs & candidates
+                if covered == candidates:
+                    return True
+            for attr, child in node.children.items():
+                if not (lhs >> attr & 1):
+                    continue
+                if not has_required and attr > required:
+                    continue
+                if descend(child, has_required or attr == required):
+                    return True
+            return False
+
+        descend(self.root, False)
+        return covered
+
+    def contains_generalization(self, lhs: AttrSet, attr: int) -> bool:
+        """True iff some FD ``Z -> attr`` with ``Z ⊆ lhs`` is in the tree."""
+        mask = attrset.singleton(attr)
+        return self.find_covered(lhs, mask) == mask
+
+    def nodes_at_level(self, level: int) -> List[ExtFDNode]:
+        """All live nodes at depth ``level`` (DFS; root is level 0)."""
+        if level == 0:
+            return [self.root]
+        result: List[ExtFDNode] = []
+        stack: List[ExtFDNode] = [self.root]
+        while stack:
+            node = stack.pop()
+            for child in node.children.values():
+                if child.depth == level:
+                    result.append(child)
+                elif child.depth < level:
+                    stack.append(child)
+        return result
+
+    def max_depth(self) -> int:
+        """Depth of the deepest node."""
+        deepest = 0
+        stack: List[ExtFDNode] = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.depth > deepest:
+                deepest = node.depth
+            stack.extend(node.children.values())
+        return deepest
+
+    def node_count(self) -> int:
+        """Number of nodes excluding the root."""
+        total = 0
+        stack: List[ExtFDNode] = [self.root]
+        while stack:
+            node = stack.pop()
+            total += len(node.children)
+            stack.extend(node.children.values())
+        return total
+
+    def iter_fds(self) -> Iterator[FD]:
+        """Yield all FDs currently represented by the tree."""
+        stack: List[ExtFDNode] = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.rhs:
+                yield FD(node.path(), node.rhs)
+            stack.extend(node.children.values())
+
+    def iter_fd_nodes(self) -> Iterator[ExtFDNode]:
+        """Yield all FD-nodes (nodes with non-empty RHS)."""
+        stack: List[ExtFDNode] = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.rhs:
+                yield node
+            stack.extend(node.children.values())
+
+    # ------------------------------------------------------------------
+    # Removal support used by induction
+    # ------------------------------------------------------------------
+
+    def strip_rhs(self, node: ExtFDNode, removed: AttrSet) -> None:
+        """Remove ``removed`` from a node's RHS, updating the FD count."""
+        actually_removed = node.rhs & removed
+        node.rhs = attrset.difference(node.rhs, removed)
+        self.fd_count -= attrset.count(actually_removed)
+
+    def prune_dead_path(self, node: ExtFDNode) -> None:
+        """Detach ``node`` and any ancestors left childless and FD-less.
+
+        Keeping garbage paths would inflate the paper's *reusable node*
+        counts (a leaf whose only children are dead would wrongly count
+        as reusable), skewing the efficiency–inefficiency ratio.
+        """
+        current: Optional[ExtFDNode] = node
+        while (
+            current is not None
+            and current is not self.root
+            and not current.children
+            and not current.rhs
+        ):
+            parent = current.parent
+            current.deleted = True
+            if parent is not None:
+                parent.children.pop(current.attr, None)
+            current = parent

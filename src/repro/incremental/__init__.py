@@ -1,0 +1,5 @@
+"""Incremental FD maintenance under data changes."""
+
+from .maintainer import IncrementalFDMaintainer
+
+__all__ = ["IncrementalFDMaintainer"]

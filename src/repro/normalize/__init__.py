@@ -1,0 +1,27 @@
+"""Normalization on top of discovered covers: keys, normal forms,
+3NF/BCNF decomposition with lossless-join and preservation checks."""
+
+from .decompose import (
+    Decomposition,
+    decompose_bcnf,
+    is_lossless_join,
+    preserves_dependencies,
+    synthesize_3nf,
+)
+from .forms import NormalFormReport, check_3nf, check_bcnf
+from .keys import candidate_keys, is_superkey, minimize_superkey, prime_attributes
+
+__all__ = [
+    "Decomposition",
+    "NormalFormReport",
+    "candidate_keys",
+    "check_3nf",
+    "check_bcnf",
+    "decompose_bcnf",
+    "is_lossless_join",
+    "is_superkey",
+    "minimize_superkey",
+    "preserves_dependencies",
+    "prime_attributes",
+    "synthesize_3nf",
+]

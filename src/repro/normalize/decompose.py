@@ -1,0 +1,183 @@
+"""Schema decomposition: 3NF synthesis, BCNF decomposition, and the
+classic quality checks (lossless join via the chase, dependency
+preservation via the Beeri–Honeyman test).
+
+Together with :mod:`repro.ranking` this closes the loop the paper
+motivates: discover FDs, rank them by the redundancy they cause, and
+eliminate that redundancy by decomposition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+from ..covers.canonical import canonical_cover, merge_same_lhs
+from ..covers.implication import ImplicationEngine
+from ..relational import attrset
+from ..relational.attrset import AttrSet
+from ..relational.fd import FD
+from ..relational.schema import RelationSchema
+from .keys import candidate_keys
+
+
+@dataclass(frozen=True)
+class Decomposition:
+    """A set of fragment schemas (attribute sets over the original R)."""
+
+    n_cols: int
+    fragments: List[AttrSet]
+
+    def format(self, schema: RelationSchema) -> List[str]:
+        """Render each fragment with column names."""
+        return [schema.format_attr_set(f) for f in self.fragments]
+
+    def covers_schema(self) -> bool:
+        """Do the fragments jointly mention every attribute?"""
+        mask = attrset.EMPTY
+        for fragment in self.fragments:
+            mask |= fragment
+        return mask == attrset.full_set(self.n_cols)
+
+
+def synthesize_3nf(n_cols: int, fds: Sequence[FD]) -> Decomposition:
+    """Bernstein's 3NF synthesis from a canonical cover.
+
+    One fragment per canonical FD (LHS ∪ RHS), plus a key fragment when
+    no fragment contains a candidate key; fragments subsumed by others
+    are dropped.  The result is dependency preserving and lossless.
+    """
+    cover = canonical_cover(fds)
+    fragments: List[AttrSet] = [fd.lhs | fd.rhs for fd in cover]
+    if not fragments:
+        fragments = [attrset.full_set(n_cols)]
+
+    keys = candidate_keys(n_cols, list(cover))
+    if not any(
+        any(attrset.is_subset(key, fragment) for fragment in fragments)
+        for key in keys
+    ):
+        fragments.append(keys[0])
+
+    # attributes mentioned in no FD still need a home: put them in the
+    # key fragment (they are independent of everything else)
+    mentioned = attrset.EMPTY
+    for fragment in fragments:
+        mentioned |= fragment
+    orphans = attrset.complement(mentioned, n_cols)
+    if orphans:
+        fragments.append(keys[0] | orphans)
+
+    pruned = [
+        f for f in fragments
+        if not any(other != f and attrset.is_subset(f, other) for other in fragments)
+    ]
+    return Decomposition(n_cols, sorted(set(pruned)))
+
+
+def decompose_bcnf(n_cols: int, fds: Sequence[FD]) -> Decomposition:
+    """Classic recursive BCNF decomposition (lossless, not necessarily
+    dependency preserving)."""
+    engine = ImplicationEngine(list(fds))
+    fragments: List[AttrSet] = []
+    stack = [attrset.full_set(n_cols)]
+    while stack:
+        schema_attrs = stack.pop()
+        violation = _find_bcnf_violation(schema_attrs, fds, engine)
+        if violation is None:
+            fragments.append(schema_attrs)
+            continue
+        closure_in_schema = engine.closure(violation.lhs) & schema_attrs
+        left = closure_in_schema
+        right = violation.lhs | attrset.difference(schema_attrs, closure_in_schema)
+        if left == schema_attrs or right == schema_attrs:
+            fragments.append(schema_attrs)  # degenerate split; stop
+            continue
+        stack.append(left)
+        stack.append(right)
+    pruned = [
+        f for f in fragments
+        if not any(other != f and attrset.is_subset(f, other) for other in fragments)
+    ]
+    return Decomposition(n_cols, sorted(set(pruned)))
+
+
+def _find_bcnf_violation(
+    schema_attrs: AttrSet, fds: Sequence[FD], engine: ImplicationEngine
+) -> "FD | None":
+    """An FD (projected onto the sub-schema) violating BCNF there."""
+    for fd in fds:
+        if not attrset.is_subset(fd.lhs, schema_attrs):
+            continue
+        closure = engine.closure(fd.lhs)
+        rhs_in_schema = attrset.difference(closure & schema_attrs, fd.lhs)
+        if not rhs_in_schema:
+            continue
+        if not attrset.is_subset(schema_attrs, closure):
+            return FD(fd.lhs, rhs_in_schema)
+    return None
+
+
+def is_lossless_join(
+    n_cols: int, fds: Sequence[FD], decomposition: Decomposition
+) -> bool:
+    """Chase-based lossless-join test.
+
+    Builds the tableau with one row per fragment (distinguished symbols
+    on the fragment's attributes), chases it with the FDs, and checks
+    whether some row becomes all-distinguished.
+    """
+    fragments = decomposition.fragments
+    # tableau[i][a]: 0 means distinguished; i+1 a row-local symbol
+    tableau = [
+        [0 if attrset.contains(fragment, attr) else row + 1 for attr in range(n_cols)]
+        for row, fragment in enumerate(fragments)
+    ]
+    changed = True
+    while changed:
+        changed = False
+        for fd in fds:
+            lhs = attrset.to_list(fd.lhs)
+            rhs = attrset.to_list(fd.rhs)
+            groups: dict = {}
+            for row in tableau:
+                key = tuple(row[a] for a in lhs)
+                groups.setdefault(key, []).append(row)
+            for rows in groups.values():
+                if len(rows) < 2:
+                    continue
+                for attr in rhs:
+                    values = {row[attr] for row in rows}
+                    if len(values) > 1:
+                        target = 0 if 0 in values else min(values)
+                        replaced = values - {target}
+                        for row in tableau:
+                            if row[attr] in replaced:
+                                row[attr] = target
+                        changed = True
+    return any(all(v == 0 for v in row) for row in tableau)
+
+
+def preserves_dependencies(
+    fds: Sequence[FD], decomposition: Decomposition
+) -> bool:
+    """Beeri–Honeyman dependency-preservation test.
+
+    For each FD ``X → Y``: grow ``Z`` from ``X`` by repeatedly closing
+    ``Z ∩ S`` within each fragment ``S``; the FD is preserved iff the
+    fixpoint contains ``Y``.
+    """
+    engine = ImplicationEngine(list(fds))
+    for fd in fds:
+        attr_set = fd.lhs
+        changed = True
+        while changed:
+            changed = False
+            for fragment in decomposition.fragments:
+                gained = engine.closure(attr_set & fragment) & fragment
+                if attrset.difference(gained, attr_set):
+                    attr_set |= gained
+                    changed = True
+        if not attrset.is_subset(fd.rhs, attr_set):
+            return False
+    return True

@@ -1,0 +1,62 @@
+"""Normal-form checks: BCNF and 3NF relative to a discovered cover.
+
+The paper grounds its redundancy measure in Vincent's semantic
+justification of normal forms: an FD causing redundant values is
+exactly a normal-form violation worth repairing.  These checks make
+that connection executable — feed them a discovered (canonical) cover
+and they report the violating FDs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..covers.implication import ImplicationEngine
+from ..relational import attrset
+from ..relational.attrset import AttrSet
+from ..relational.fd import FD
+from .keys import candidate_keys, prime_attributes
+
+
+@dataclass(frozen=True)
+class NormalFormReport:
+    """Outcome of a normal-form check."""
+
+    satisfied: bool
+    violations: List[FD]
+    keys: List[AttrSet]
+
+
+def _nontrivial_fds(fds: Sequence[FD]) -> List[FD]:
+    return [fd for fd in fds if attrset.difference(fd.rhs, fd.lhs)]
+
+
+def check_bcnf(n_cols: int, fds: Sequence[FD]) -> NormalFormReport:
+    """BCNF: every non-trivial FD's LHS is a superkey."""
+    engine = ImplicationEngine(list(fds))
+    all_attrs = attrset.full_set(n_cols)
+    keys = candidate_keys(n_cols, list(fds))
+    violations = [
+        fd for fd in _nontrivial_fds(fds)
+        if engine.closure(fd.lhs) != all_attrs
+    ]
+    return NormalFormReport(not violations, violations, keys)
+
+
+def check_3nf(n_cols: int, fds: Sequence[FD]) -> NormalFormReport:
+    """3NF: LHS is a superkey, or every RHS attribute is prime."""
+    engine = ImplicationEngine(list(fds))
+    all_attrs = attrset.full_set(n_cols)
+    keys = candidate_keys(n_cols, list(fds))
+    prime = prime_attributes(n_cols, list(fds))
+    violations = []
+    for fd in _nontrivial_fds(fds):
+        if engine.closure(fd.lhs) == all_attrs:
+            continue
+        nonprime_rhs = attrset.difference(
+            attrset.difference(fd.rhs, fd.lhs), prime
+        )
+        if nonprime_rhs:
+            violations.append(FD(fd.lhs, nonprime_rhs))
+    return NormalFormReport(not violations, violations, keys)

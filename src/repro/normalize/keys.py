@@ -1,0 +1,91 @@
+"""Candidate-key computation from FD covers (Lucchesi–Osborn).
+
+A candidate key of schema ``R`` under FD set Σ is a minimal attribute
+set whose closure is all of ``R``.  Keys drive the normal-form checks:
+BCNF/3NF violations are defined relative to them, and the paper's
+zero-redundancy FDs are exactly the key-like ones.
+
+The enumeration follows the classic Lucchesi–Osborn queue: starting
+from one key, every FD ``X → Y`` spawns the candidate
+``X ∪ (K − Y)`` for each known key ``K``; minimized candidates that are
+not supersets of known keys are new keys.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from ..covers.implication import ImplicationEngine
+from ..relational import attrset
+from ..relational.attrset import AttrSet
+from ..relational.fd import FD
+
+
+def minimize_superkey(
+    superkey: AttrSet, n_cols: int, engine: ImplicationEngine
+) -> AttrSet:
+    """Shrink a superkey to a (not necessarily unique) candidate key."""
+    all_attrs = attrset.full_set(n_cols)
+    key = superkey
+    for attr in attrset.to_list(superkey):
+        candidate = attrset.remove(key, attr)
+        if engine.closure(candidate, until=all_attrs) == all_attrs:
+            key = candidate
+    return key
+
+
+def is_superkey(attrs: AttrSet, n_cols: int, fds: Iterable[FD]) -> bool:
+    """Does ``attrs`` functionally determine the whole schema?"""
+    engine = ImplicationEngine(list(fds))
+    return engine.closure(attrs) == attrset.full_set(n_cols)
+
+
+def candidate_keys(
+    n_cols: int, fds: Sequence[FD], max_keys: int = 1000
+) -> List[AttrSet]:
+    """All candidate keys of the schema under ``fds``.
+
+    ``max_keys`` bounds the enumeration (key counts can be exponential);
+    hitting the bound raises so callers never silently miss keys.
+    """
+    engine = ImplicationEngine(list(fds))
+    all_attrs = attrset.full_set(n_cols)
+    first = minimize_superkey(all_attrs, n_cols, engine)
+    keys: List[AttrSet] = [first]
+    queue: List[AttrSet] = [first]
+    seen = {first}
+
+    while queue:
+        key = queue.pop()
+        for fd in fds:
+            candidate = fd.lhs | attrset.difference(key, fd.rhs)
+            if candidate in seen:
+                continue
+            if any(attrset.is_subset(existing, candidate) for existing in keys):
+                continue
+            minimized = minimize_superkey(candidate, n_cols, engine)
+            if minimized in seen:
+                continue
+            seen.add(candidate)
+            seen.add(minimized)
+            keys.append(minimized)
+            queue.append(minimized)
+            if len(keys) > max_keys:
+                raise RuntimeError(
+                    f"more than {max_keys} candidate keys; raise max_keys"
+                )
+    # prune any non-minimal stragglers (defensive; minimization order
+    # can in principle leave a superset discovered before its subset)
+    keys = [
+        k for k in keys
+        if not any(other != k and attrset.is_subset(other, k) for other in keys)
+    ]
+    return sorted(set(keys))
+
+
+def prime_attributes(n_cols: int, fds: Sequence[FD]) -> AttrSet:
+    """Attributes appearing in at least one candidate key."""
+    mask = attrset.EMPTY
+    for key in candidate_keys(n_cols, fds):
+        mask |= key
+    return mask

@@ -1,0 +1,6 @@
+"""Stripped partitions: construction, refinement, products, caching."""
+
+from .cache import PartitionCache
+from .stripped import Cluster, StrippedPartition, refine_cluster
+
+__all__ = ["Cluster", "PartitionCache", "StrippedPartition", "refine_cluster"]

@@ -1,0 +1,15 @@
+"""High-level profiling API: one-call profiles, column statistics,
+markdown reports."""
+
+from .profiler import FDProfile, profile
+from .report import markdown_report
+from .stats import ColumnStats, column_stats, relation_stats
+
+__all__ = [
+    "ColumnStats",
+    "FDProfile",
+    "column_stats",
+    "markdown_report",
+    "profile",
+    "relation_stats",
+]

@@ -1,0 +1,129 @@
+"""Markdown data-profile reports.
+
+Renders an :class:`~repro.profiling.profiler.FDProfile` plus per-column
+statistics into a single human-readable markdown document — the
+artifact a data steward would actually read: column overview, discovered
+FDs, canonical cover, the redundancy ranking with accidental-FD flags,
+candidate keys and normal-form status.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..normalize.decompose import synthesize_3nf
+from ..normalize.forms import check_3nf, check_bcnf
+from ..relational import attrset
+from .profiler import FDProfile
+from .stats import relation_stats
+
+
+def markdown_report(
+    profile: FDProfile,
+    title: str = "Data profile",
+    max_ranked: int = 25,
+    include_normalization: bool = True,
+) -> str:
+    """Render a full markdown report for a profiled relation."""
+    relation = profile.relation
+    schema = relation.schema
+    lines: List[str] = [f"# {title}", ""]
+
+    lines.append(
+        f"{relation.n_rows} rows × {relation.n_cols} columns, "
+        f"{relation.null_count()} null markers, null semantics "
+        f"`{relation.semantics.value}`."
+    )
+    lines.append("")
+
+    # ------------------------------------------------------------- columns
+    lines.append("## Columns")
+    lines.append("")
+    lines.append("| column | distinct | nulls | notes | top values |")
+    lines.append("|---|---|---|---|---|")
+    for stats in relation_stats(relation):
+        notes = []
+        if stats.is_constant:
+            notes.append("constant")
+        if stats.is_unique:
+            notes.append("unique (key)")
+        if stats.null_fraction > 0.5:
+            notes.append("mostly null")
+        tops = ", ".join(
+            f"{value!r}×{count}" for value, count in stats.top_values
+        )
+        lines.append(
+            f"| {stats.name} | {stats.cardinality} "
+            f"| {stats.null_count} ({100 * stats.null_fraction:.0f}%) "
+            f"| {', '.join(notes) or '-'} | {tops} |"
+        )
+    lines.append("")
+
+    # ------------------------------------------------------------- covers
+    lines.append("## Functional dependencies")
+    lines.append("")
+    lines.append(
+        f"Discovered {profile.discovery.fd_count} minimal FDs "
+        f"({profile.discovery.algorithm}, "
+        f"{profile.discovery.elapsed_seconds:.3f}s); canonical cover has "
+        f"{len(profile.canonical)} FDs "
+        f"({profile.cover_comparison.size_percent:.0f}% of the "
+        f"left-reduced cover)."
+    )
+    lines.append("")
+    for fd in profile.canonical:
+        lines.append(f"- `{fd.format(schema)}`")
+    lines.append("")
+
+    # ------------------------------------------------------------- ranking
+    if profile.ranking is not None:
+        lines.append("## FDs ranked by data redundancy")
+        lines.append("")
+        lines.append("| FD | #red+0 | #red | flag |")
+        lines.append("|---|---|---|---|")
+        for ranked in profile.ranking.top(max_ranked):
+            flag = "-"
+            if ranked.likely_key_based:
+                flag = "key-like"
+            elif ranked.likely_accidental:
+                flag = "likely accidental (nulls)"
+            lines.append(
+                f"| `{ranked.fd.format(schema)}` | {ranked.redundancy} "
+                f"| {ranked.redundancy_excluding_null} | {flag} |"
+            )
+        lines.append("")
+    if profile.redundancy is not None:
+        lines.append(
+            f"Total redundant occurrences: "
+            f"{profile.redundancy.red_including_null} of "
+            f"{profile.redundancy.n_values} values "
+            f"({profile.redundancy.red_including_percent:.2f}%; "
+            f"{profile.redundancy.red_excluding_null} excluding nulls)."
+        )
+        lines.append("")
+
+    # ------------------------------------------------------ normalization
+    if include_normalization:
+        cover = list(profile.canonical)
+        n_cols = relation.n_cols
+        bcnf = check_bcnf(n_cols, cover)
+        third = check_3nf(n_cols, cover)
+        lines.append("## Normalization")
+        lines.append("")
+        lines.append(
+            "Candidate keys: "
+            + ", ".join(f"`{schema.format_attr_set(k)}`" for k in bcnf.keys)
+        )
+        lines.append("")
+        lines.append(
+            f"BCNF: {'yes' if bcnf.satisfied else 'no'} — "
+            f"3NF: {'yes' if third.satisfied else 'no'}"
+        )
+        if not bcnf.satisfied:
+            lines.append("")
+            lines.append("3NF synthesis:")
+            for fragment in synthesize_3nf(n_cols, cover).format(schema):
+                lines.append(f"- table({fragment})")
+        lines.append("")
+
+    return "\n".join(lines)

@@ -1,0 +1,86 @@
+"""Per-column statistics: the classical data-profiling companion.
+
+FD discovery is one pillar of data profiling (the paper's opening
+framing); single-column statistics are the other.  This module computes
+the standard per-column metrics — cardinality, null rate, uniqueness,
+most frequent values, entropy — from the DIIS encoding, so no raw value
+scan is needed beyond decoding the few reported values.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..relational.relation import Relation
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Profile of a single column."""
+
+    name: str
+    cardinality: int
+    null_count: int
+    n_rows: int
+    is_constant: bool
+    is_unique: bool
+    entropy_bits: float
+    top_values: Tuple[Tuple[object, int], ...]
+
+    @property
+    def null_fraction(self) -> float:
+        """Share of rows with a null marker."""
+        if self.n_rows == 0:
+            return 0.0
+        return self.null_count / self.n_rows
+
+    @property
+    def distinct_fraction(self) -> float:
+        """Cardinality relative to row count (1.0 for key columns)."""
+        if self.n_rows == 0:
+            return 0.0
+        return self.cardinality / self.n_rows
+
+
+def column_stats(
+    relation: Relation, attr: int, top_k: int = 3
+) -> ColumnStats:
+    """Compute the profile of one column."""
+    codes = relation.codes(attr)
+    column = relation.column(attr)
+    n_rows = relation.n_rows
+    counts = np.bincount(codes, minlength=column.cardinality) if n_rows else (
+        np.zeros(0, dtype=np.int64)
+    )
+    null_count = int(column.null_mask.sum())
+
+    entropy = 0.0
+    if n_rows:
+        probabilities = counts[counts > 0] / n_rows
+        entropy = float(-(probabilities * np.log2(probabilities)).sum())
+
+    order = np.argsort(counts)[::-1][:top_k] if n_rows else []
+    top = tuple(
+        (column.decode(int(code)), int(counts[code]))
+        for code in order
+        if counts[code] > 0
+    )
+    return ColumnStats(
+        name=relation.schema.name_of(attr),
+        cardinality=column.cardinality,
+        null_count=null_count,
+        n_rows=n_rows,
+        is_constant=column.cardinality <= 1 and n_rows > 0,
+        is_unique=column.cardinality == n_rows and n_rows > 0,
+        entropy_bits=entropy,
+        top_values=top,
+    )
+
+
+def relation_stats(relation: Relation, top_k: int = 3) -> List[ColumnStats]:
+    """Profiles for every column of the relation."""
+    return [column_stats(relation, attr, top_k) for attr in range(relation.n_cols)]

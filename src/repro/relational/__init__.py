@@ -1,0 +1,35 @@
+"""Relational substrate: schemas, DIIS-encoded relations, FDs, CSV I/O."""
+
+from . import attrset
+from .attrset import AttrSet
+from .encoding import EncodedColumn, encode_column
+from .fd import FD, FDSet, normalize_singleton_cover
+from .fd_io import cover_from_json, cover_to_json, load_cover, save_cover
+from .io import read_csv, read_csv_text, to_csv_text, write_csv
+from .null import NULL, NullSemantics, is_null
+from .relation import Relation
+from .schema import RelationSchema, SchemaError
+
+__all__ = [
+    "AttrSet",
+    "EncodedColumn",
+    "FD",
+    "FDSet",
+    "NULL",
+    "NullSemantics",
+    "Relation",
+    "RelationSchema",
+    "SchemaError",
+    "attrset",
+    "cover_from_json",
+    "cover_to_json",
+    "encode_column",
+    "is_null",
+    "load_cover",
+    "normalize_singleton_cover",
+    "read_csv",
+    "save_cover",
+    "read_csv_text",
+    "to_csv_text",
+    "write_csv",
+]

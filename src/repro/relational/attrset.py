@@ -1,0 +1,124 @@
+"""Attribute sets as integer bitmasks.
+
+Every hot path in the discovery algorithms manipulates sets of column
+indices.  Representing those sets as Python ints (bit ``i`` set means
+column ``i`` is a member) makes subset tests, unions and intersections
+single machine operations and makes attribute sets hashable for free.
+
+The functions here are the only place bit fiddling happens; the rest of
+the code base speaks in terms of "attribute sets" and column indices.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List
+
+AttrSet = int
+
+EMPTY: AttrSet = 0
+
+
+def singleton(attr: int) -> AttrSet:
+    """Return the attribute set containing exactly ``attr``."""
+    return 1 << attr
+
+
+def from_attrs(attrs: Iterable[int]) -> AttrSet:
+    """Build an attribute set from an iterable of column indices."""
+    mask = 0
+    for attr in attrs:
+        mask |= 1 << attr
+    return mask
+
+
+def full_set(n_attrs: int) -> AttrSet:
+    """Return the set of all ``n_attrs`` columns ``{0, ..., n_attrs - 1}``."""
+    return (1 << n_attrs) - 1
+
+
+def contains(attr_set: AttrSet, attr: int) -> bool:
+    """Return True if column ``attr`` is a member of ``attr_set``."""
+    return bool(attr_set >> attr & 1)
+
+
+def is_subset(small: AttrSet, big: AttrSet) -> bool:
+    """Return True if ``small`` is a (non-strict) subset of ``big``."""
+    return small & ~big == 0
+
+
+def is_proper_subset(small: AttrSet, big: AttrSet) -> bool:
+    """Return True if ``small`` is a strict subset of ``big``."""
+    return small != big and small & ~big == 0
+
+
+def add(attr_set: AttrSet, attr: int) -> AttrSet:
+    """Return ``attr_set`` with column ``attr`` added."""
+    return attr_set | (1 << attr)
+
+
+def remove(attr_set: AttrSet, attr: int) -> AttrSet:
+    """Return ``attr_set`` with column ``attr`` removed."""
+    return attr_set & ~(1 << attr)
+
+
+def difference(left: AttrSet, right: AttrSet) -> AttrSet:
+    """Return the set difference ``left - right``."""
+    return left & ~right
+
+
+def complement(attr_set: AttrSet, n_attrs: int) -> AttrSet:
+    """Return ``R - attr_set`` for a schema of ``n_attrs`` columns."""
+    return full_set(n_attrs) & ~attr_set
+
+
+def count(attr_set: AttrSet) -> int:
+    """Return the cardinality of the attribute set."""
+    return bin(attr_set).count("1")
+
+
+def iter_attrs(attr_set: AttrSet) -> Iterator[int]:
+    """Yield the member column indices of ``attr_set`` in ascending order."""
+    while attr_set:
+        low = attr_set & -attr_set
+        yield low.bit_length() - 1
+        attr_set ^= low
+
+
+def to_list(attr_set: AttrSet) -> List[int]:
+    """Return the member column indices as a sorted list."""
+    return list(iter_attrs(attr_set))
+
+
+def lowest(attr_set: AttrSet) -> int:
+    """Return the smallest member of a non-empty attribute set."""
+    if not attr_set:
+        raise ValueError("empty attribute set has no lowest member")
+    return (attr_set & -attr_set).bit_length() - 1
+
+
+def highest(attr_set: AttrSet) -> int:
+    """Return the largest member of a non-empty attribute set."""
+    if not attr_set:
+        raise ValueError("empty attribute set has no highest member")
+    return attr_set.bit_length() - 1
+
+
+def iter_subsets(attr_set: AttrSet) -> Iterator[AttrSet]:
+    """Yield every subset of ``attr_set``, including EMPTY and itself.
+
+    Uses the standard sub-mask enumeration trick; the number of subsets
+    is ``2**count(attr_set)`` so callers should keep the input small.
+    """
+    sub = attr_set
+    while True:
+        yield sub
+        if sub == 0:
+            return
+        sub = (sub - 1) & attr_set
+
+
+def format_attrs(attr_set: AttrSet, names: List[str]) -> str:
+    """Render an attribute set using human-readable column names."""
+    if attr_set == EMPTY:
+        return "∅"
+    return ",".join(names[a] for a in iter_attrs(attr_set))

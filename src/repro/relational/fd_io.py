@@ -1,0 +1,70 @@
+"""JSON (de)serialization of FD covers.
+
+Discovery on large inputs is expensive; persisting the cover lets later
+sessions skip it (e.g. seed an
+:class:`~repro.incremental.maintainer.IncrementalFDMaintainer`).  FDs
+are stored by *column name*, so a cover survives column reordering and
+documents itself.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Union
+
+from . import attrset
+from .fd import FD, FDSet
+from .schema import RelationSchema
+
+FORMAT_VERSION = 1
+
+
+def cover_to_json(fds: FDSet, schema: RelationSchema) -> str:
+    """Serialize a cover against its schema to a JSON string."""
+    payload = {
+        "format": "repro-fd-cover",
+        "version": FORMAT_VERSION,
+        "columns": schema.names,
+        "fds": [
+            {
+                "lhs": [schema.name_of(a) for a in attrset.iter_attrs(fd.lhs)],
+                "rhs": [schema.name_of(a) for a in attrset.iter_attrs(fd.rhs)],
+            }
+            for fd in fds
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def cover_from_json(text: str, schema: RelationSchema) -> FDSet:
+    """Parse a serialized cover, validating it against ``schema``.
+
+    The stored column list must be a subset of the target schema's
+    columns (names resolve positions, so extra columns in the target
+    are fine; missing ones are an error).
+    """
+    payload = json.loads(text)
+    if payload.get("format") != "repro-fd-cover":
+        raise ValueError("not a repro FD cover document")
+    if payload.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported cover format version {payload.get('version')}")
+    missing = [c for c in payload.get("columns", []) if c not in schema]
+    if missing:
+        raise ValueError(f"cover references unknown columns: {missing}")
+    fds = FDSet()
+    for entry in payload.get("fds", []):
+        lhs = attrset.from_attrs(schema.index_of(name) for name in entry["lhs"])
+        rhs = attrset.from_attrs(schema.index_of(name) for name in entry["rhs"])
+        fds.add(FD(lhs, rhs))
+    return fds
+
+
+def save_cover(fds: FDSet, schema: RelationSchema, path: Union[str, Path]) -> None:
+    """Write a cover to a JSON file."""
+    Path(path).write_text(cover_to_json(fds, schema) + "\n", encoding="utf-8")
+
+
+def load_cover(path: Union[str, Path], schema: RelationSchema) -> FDSet:
+    """Read a cover from a JSON file."""
+    return cover_from_json(Path(path).read_text(encoding="utf-8"), schema)

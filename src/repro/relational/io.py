@@ -1,0 +1,109 @@
+"""CSV input/output for relations.
+
+The benchmark data sets in the paper are plain CSV files; this module
+loads them into :class:`~repro.relational.relation.Relation` objects,
+normalizing the usual null spellings to the library's null marker.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Set, Union
+
+from .null import NULL, NullSemantics
+from .relation import Relation
+from .schema import RelationSchema
+
+#: Field spellings treated as missing values when loading CSV data.
+DEFAULT_NULL_MARKERS: Set[str] = {"", "null", "NULL", "?", "NA", "N/A", "na", "-"}
+
+
+def read_csv(
+    path: Union[str, Path],
+    *,
+    has_header: bool = True,
+    delimiter: str = ",",
+    null_markers: Optional[Iterable[str]] = None,
+    semantics: Union[str, NullSemantics] = NullSemantics.EQ,
+    max_rows: Optional[int] = None,
+) -> Relation:
+    """Load a CSV file into a relation.
+
+    Args:
+        path: the CSV file.
+        has_header: first line holds column names; otherwise an
+            anonymous ``col0..colN`` schema is created.
+        delimiter: field separator.
+        null_markers: field values mapped to the null marker
+            (defaults to :data:`DEFAULT_NULL_MARKERS`).
+        semantics: null semantics for the DIIS encoding.
+        max_rows: optional row cap (fragment loading).
+    """
+    with open(path, "r", newline="", encoding="utf-8") as handle:
+        return read_csv_text(
+            handle.read(),
+            has_header=has_header,
+            delimiter=delimiter,
+            null_markers=null_markers,
+            semantics=semantics,
+            max_rows=max_rows,
+        )
+
+
+def read_csv_text(
+    text: str,
+    *,
+    has_header: bool = True,
+    delimiter: str = ",",
+    null_markers: Optional[Iterable[str]] = None,
+    semantics: Union[str, NullSemantics] = NullSemantics.EQ,
+    max_rows: Optional[int] = None,
+) -> Relation:
+    """Parse CSV content from a string (see :func:`read_csv`)."""
+    markers = set(null_markers) if null_markers is not None else DEFAULT_NULL_MARKERS
+    reader = csv.reader(io.StringIO(text), delimiter=delimiter)
+    rows: List[List[object]] = []
+    schema: Optional[RelationSchema] = None
+    for line_no, record in enumerate(reader):
+        if line_no == 0 and has_header:
+            schema = RelationSchema(record)
+            continue
+        if max_rows is not None and len(rows) >= max_rows:
+            break
+        rows.append([NULL if field in markers else field for field in record])
+    if schema is None and rows:
+        schema = RelationSchema.of_width(len(rows[0]))
+    if schema is None:
+        raise ValueError("CSV input is empty and has no header")
+    return Relation.from_rows(rows, schema, semantics)
+
+
+def write_csv(
+    relation: Relation,
+    path: Union[str, Path],
+    *,
+    delimiter: str = ",",
+    null_marker: str = "",
+) -> None:
+    """Write a relation back to CSV (nulls become ``null_marker``)."""
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        writer.writerow(relation.schema.names)
+        for row in relation.iter_rows():
+            writer.writerow(
+                [null_marker if value is NULL else value for value in row]
+            )
+
+
+def to_csv_text(
+    relation: Relation, *, delimiter: str = ",", null_marker: str = ""
+) -> str:
+    """Render a relation as CSV text."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, delimiter=delimiter)
+    writer.writerow(relation.schema.names)
+    for row in relation.iter_rows():
+        writer.writerow([null_marker if value is NULL else value for value in row])
+    return buffer.getvalue()

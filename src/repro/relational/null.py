@@ -1,0 +1,57 @@
+"""Null-marker semantics for FD discovery and ranking.
+
+The paper (§V-B) evaluates the two most common interpretations of
+missing values:
+
+* ``null = null`` — a null marker is treated like any other value: two
+  null occurrences in the same column agree with each other.
+* ``null ≠ null`` — every null occurrence is unique: it agrees with
+  nothing, not even another null in the same column.
+
+The semantics only affects how the DIIS encoder assigns codes to null
+occurrences (see :mod:`repro.relational.encoding`); every algorithm
+downstream operates on codes and is oblivious to the choice.
+"""
+
+from __future__ import annotations
+
+import enum
+
+#: The canonical in-memory representation of a missing value.  CSV input
+#: maps empty fields and common markers ("", "NULL", "?", "NA") to this.
+NULL = None
+
+
+class NullSemantics(enum.Enum):
+    """How null markers compare with each other during discovery."""
+
+    #: Two nulls in the same column are considered equal (the default in
+    #: the paper's main experiments, Table II).
+    EQ = "null=null"
+
+    #: Every null occurrence is a fresh value equal to nothing.
+    NEQ = "null!=null"
+
+    @classmethod
+    def parse(cls, value: "str | NullSemantics") -> "NullSemantics":
+        """Accept enum members or their string spellings ('eq'/'neq'/...)."""
+        if isinstance(value, NullSemantics):
+            return value
+        normalized = str(value).strip().lower()
+        aliases = {
+            "eq": cls.EQ,
+            "null=null": cls.EQ,
+            "equal": cls.EQ,
+            "neq": cls.NEQ,
+            "null!=null": cls.NEQ,
+            "unequal": cls.NEQ,
+        }
+        try:
+            return aliases[normalized]
+        except KeyError:
+            raise ValueError(f"unknown null semantics {value!r}") from None
+
+
+def is_null(value: object) -> bool:
+    """Return True if ``value`` is the null marker."""
+    return value is NULL

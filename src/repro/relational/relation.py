@@ -1,0 +1,300 @@
+"""In-memory relations over DIIS-encoded columns.
+
+A :class:`Relation` is the single data representation every discovery
+algorithm in this library consumes.  It stores one
+:class:`~repro.relational.encoding.EncodedColumn` per schema attribute
+plus a lazily materialized row-major code matrix used for fast agree-set
+computation during sampling.
+
+Relations are immutable: fragment operations (row/column projection)
+return new relations with densely re-encoded codes so that Algorithm 5
+can keep using codes as array indices.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from . import attrset
+from .attrset import AttrSet
+from .encoding import EncodedColumn, encode_column, reencode_dense
+from .null import NULL, NullSemantics
+from .schema import RelationSchema, SchemaError
+
+
+class Relation:
+    """A finite multiset of rows over a :class:`RelationSchema`.
+
+    Note the departure from the paper's set-of-tuples model: we keep
+    duplicate rows (real CSV inputs have them; ncvoter's duplicate
+    voter_id rows in Table I are the paper's own example).  Duplicates
+    never affect which FDs hold.
+    """
+
+    __slots__ = ("schema", "semantics", "n_rows", "_columns", "_matrix")
+
+    def __init__(
+        self,
+        schema: RelationSchema,
+        columns: Sequence[EncodedColumn],
+        semantics: NullSemantics,
+        n_rows: int,
+    ):
+        if len(columns) != len(schema):
+            raise SchemaError(
+                f"schema has {len(schema)} columns but {len(columns)} encoded columns given"
+            )
+        self.schema = schema
+        self.semantics = semantics
+        self.n_rows = n_rows
+        self._columns: Tuple[EncodedColumn, ...] = tuple(columns)
+        self._matrix: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_rows(
+        cls,
+        rows: Sequence[Sequence[object]],
+        schema: Optional[Union[RelationSchema, Sequence[str]]] = None,
+        semantics: Union[str, NullSemantics] = NullSemantics.EQ,
+    ) -> "Relation":
+        """Build a relation from row tuples of raw Python values.
+
+        ``None`` entries are null markers.  If no schema is given an
+        anonymous ``col0..colN`` schema is created.
+        """
+        semantics = NullSemantics.parse(semantics)
+        rows = list(rows)
+        if schema is None:
+            width = len(rows[0]) if rows else 1
+            schema = RelationSchema.of_width(width)
+        elif not isinstance(schema, RelationSchema):
+            schema = RelationSchema(schema)
+        n_cols = len(schema)
+        for i, row in enumerate(rows):
+            if len(row) != n_cols:
+                raise SchemaError(f"row {i} has {len(row)} values, expected {n_cols}")
+        columns = [
+            encode_column([row[c] for row in rows], semantics) for c in range(n_cols)
+        ]
+        return cls(schema, columns, semantics, len(rows))
+
+    @classmethod
+    def from_columns(
+        cls,
+        columns: "Dict[str, Sequence[object]]",
+        semantics: Union[str, NullSemantics] = NullSemantics.EQ,
+    ) -> "Relation":
+        """Build a relation from a ``{name: values}`` mapping."""
+        semantics = NullSemantics.parse(semantics)
+        schema = RelationSchema(list(columns.keys()))
+        lengths = {len(values) for values in columns.values()}
+        if len(lengths) > 1:
+            raise SchemaError(f"columns have differing lengths: {sorted(lengths)}")
+        n_rows = lengths.pop() if lengths else 0
+        encoded = [encode_column(list(values), semantics) for values in columns.values()]
+        return cls(schema, encoded, semantics, n_rows)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def n_cols(self) -> int:
+        """Number of columns in the schema."""
+        return len(self.schema)
+
+    @property
+    def n_values(self) -> int:
+        """Total number of data value occurrences (#values in Table IV)."""
+        return self.n_rows * self.n_cols
+
+    def column(self, attr: int) -> EncodedColumn:
+        """The encoded column for index ``attr``."""
+        return self._columns[attr]
+
+    def codes(self, attr: int) -> np.ndarray:
+        """The DIIS code array of column ``attr`` (one entry per row)."""
+        return self._columns[attr].codes
+
+    def cardinality(self, attr: int) -> int:
+        """Number of distinct codes in column ``attr``."""
+        return self._columns[attr].cardinality
+
+    def null_mask(self, attr: int) -> np.ndarray:
+        """Boolean per-row mask of null occurrences in column ``attr``."""
+        return self._columns[attr].null_mask
+
+    def value(self, row: int, attr: int) -> object:
+        """Decode the raw value at ``(row, attr)`` (None for nulls)."""
+        col = self._columns[attr]
+        if col.null_mask[row]:
+            return NULL
+        return col.decode(int(col.codes[row]))
+
+    def row_values(self, row: int) -> Tuple[object, ...]:
+        """Decode an entire row back to raw values."""
+        return tuple(self.value(row, a) for a in range(self.n_cols))
+
+    def iter_rows(self) -> Iterable[Tuple[object, ...]]:
+        """Yield decoded rows in order."""
+        for i in range(self.n_rows):
+            yield self.row_values(i)
+
+    def matrix(self) -> np.ndarray:
+        """Row-major ``(n_rows, n_cols)`` int64 code matrix (lazy)."""
+        if self._matrix is None:
+            if self.n_rows == 0:
+                self._matrix = np.empty((0, self.n_cols), dtype=np.int64)
+            else:
+                self._matrix = np.column_stack([c.codes for c in self._columns])
+        return self._matrix
+
+    def null_count(self) -> int:
+        """Total number of null occurrences in the relation (#⊥)."""
+        return int(sum(c.null_mask.sum() for c in self._columns))
+
+    def __len__(self) -> int:
+        return self.n_rows
+
+    def __repr__(self) -> str:
+        return (
+            f"Relation({self.n_rows} rows x {self.n_cols} cols, "
+            f"{self.semantics.value})"
+        )
+
+    # ------------------------------------------------------------------
+    # Agree sets
+    # ------------------------------------------------------------------
+
+    def agree_set(self, row_a: int, row_b: int) -> AttrSet:
+        """The agree set ``ag(t, t')``: columns where the rows match."""
+        matrix = self.matrix()
+        equal = matrix[row_a] == matrix[row_b]
+        mask = attrset.EMPTY
+        for col in np.nonzero(equal)[0]:
+            mask = attrset.add(mask, int(col))
+        return mask
+
+    # ------------------------------------------------------------------
+    # Fragments
+    # ------------------------------------------------------------------
+
+    def project_rows(self, row_indices: Sequence[int]) -> "Relation":
+        """Return the fragment containing only ``row_indices`` (in order).
+
+        Codes are densely re-encoded so downstream array indexing stays
+        tight; decoded values are preserved.
+        """
+        idx = np.asarray(row_indices, dtype=np.int64)
+        new_columns = []
+        for col in self._columns:
+            sub_codes = col.codes[idx]
+            dense, n_codes = reencode_dense(sub_codes)
+            unique = np.unique(sub_codes)
+            decoder = tuple(col.decode(int(c)) for c in unique)
+            new_columns.append(
+                EncodedColumn(
+                    codes=dense,
+                    null_mask=col.null_mask[idx].copy(),
+                    cardinality=n_codes,
+                    decoder=decoder,
+                )
+            )
+        return Relation(self.schema, new_columns, self.semantics, int(len(idx)))
+
+    def head(self, n_rows: int) -> "Relation":
+        """The fragment made of the first ``n_rows`` rows."""
+        n_rows = min(n_rows, self.n_rows)
+        return self.project_rows(range(n_rows))
+
+    def project_columns(self, columns: Sequence[Union[str, int]]) -> "Relation":
+        """Return the fragment containing only the given columns."""
+        indices = [self.schema.resolve(c) for c in columns]
+        new_schema = self.schema.project(indices)
+        new_columns = [self._columns[i] for i in indices]
+        return Relation(new_schema, new_columns, self.semantics, self.n_rows)
+
+    def append_rows(self, new_rows: Sequence[Sequence[object]]) -> "Relation":
+        """Return a new relation with ``new_rows`` appended.
+
+        Existing DIIS codes are preserved (old row indices keep their
+        meaning); new values extend each column's code space.  This is
+        the substrate for incremental FD maintenance.
+        """
+        new_rows = [list(row) for row in new_rows]
+        for i, row in enumerate(new_rows):
+            if len(row) != self.n_cols:
+                raise SchemaError(
+                    f"appended row {i} has {len(row)} values, expected {self.n_cols}"
+                )
+        if not new_rows:
+            return self
+
+        new_columns = []
+        for attr, col in enumerate(self._columns):
+            mapping: Dict[object, int] = {}
+            null_code = -1
+            for code, value in enumerate(col.decoder):
+                if value is None:
+                    if self.semantics is NullSemantics.EQ:
+                        null_code = code
+                else:
+                    mapping[value] = code
+            next_code = col.cardinality
+            decoder = list(col.decoder)
+            extra_codes = []
+            extra_nulls = []
+            for row in new_rows:
+                value = row[attr]
+                if value is NULL or value is None:
+                    extra_nulls.append(True)
+                    if self.semantics is NullSemantics.EQ:
+                        if null_code < 0:
+                            null_code = next_code
+                            next_code += 1
+                            decoder.append(None)
+                        extra_codes.append(null_code)
+                    else:
+                        extra_codes.append(next_code)
+                        next_code += 1
+                        decoder.append(None)
+                else:
+                    extra_nulls.append(False)
+                    code = mapping.get(value)
+                    if code is None:
+                        code = next_code
+                        mapping[value] = code
+                        next_code += 1
+                        decoder.append(value)
+                    extra_codes.append(code)
+            new_columns.append(
+                EncodedColumn(
+                    codes=np.concatenate(
+                        [col.codes, np.asarray(extra_codes, dtype=np.int64)]
+                    ),
+                    null_mask=np.concatenate(
+                        [col.null_mask, np.asarray(extra_nulls, dtype=bool)]
+                    ),
+                    cardinality=next_code,
+                    decoder=tuple(decoder),
+                )
+            )
+        return Relation(
+            self.schema, new_columns, self.semantics, self.n_rows + len(new_rows)
+        )
+
+    def with_semantics(self, semantics: Union[str, NullSemantics]) -> "Relation":
+        """Re-encode the relation under different null semantics."""
+        semantics = NullSemantics.parse(semantics)
+        if semantics is self.semantics:
+            return self
+        raw_columns = {}
+        for i, name in enumerate(self.schema.names):
+            raw_columns[name] = [self.value(r, i) for r in range(self.n_rows)]
+        return Relation.from_columns(raw_columns, semantics)

@@ -1,0 +1,111 @@
+"""Relation schemas: ordered, named column collections.
+
+The paper assumes a total order on the attributes of a relation schema
+``R = {A1, ..., An}`` so that columns can be identified by positive
+integers (we use 0-based indices).  :class:`RelationSchema` provides the
+name <-> index mapping used throughout the library.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Union
+
+from . import attrset
+from .attrset import AttrSet
+
+
+class SchemaError(ValueError):
+    """Raised for malformed schemas or unknown column references."""
+
+
+class RelationSchema:
+    """An ordered sequence of uniquely named attributes (columns)."""
+
+    __slots__ = ("_names", "_index")
+
+    def __init__(self, names: Sequence[str]):
+        names = list(names)
+        if not names:
+            raise SchemaError("a relation schema must have at least one column")
+        seen = set()
+        for name in names:
+            if not isinstance(name, str) or not name:
+                raise SchemaError(f"column names must be non-empty strings, got {name!r}")
+            if name in seen:
+                raise SchemaError(f"duplicate column name {name!r}")
+            seen.add(name)
+        self._names: List[str] = names
+        self._index = {name: i for i, name in enumerate(names)}
+
+    @classmethod
+    def of_width(cls, n_cols: int, prefix: str = "col") -> "RelationSchema":
+        """Build an anonymous schema ``prefix0, prefix1, ...``."""
+        if n_cols <= 0:
+            raise SchemaError("schema width must be positive")
+        return cls([f"{prefix}{i}" for i in range(n_cols)])
+
+    @property
+    def names(self) -> List[str]:
+        """The column names in schema order (copy; mutations are ignored)."""
+        return list(self._names)
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._names)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._index
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, RelationSchema) and self._names == other._names
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._names))
+
+    def __repr__(self) -> str:
+        return f"RelationSchema({self._names!r})"
+
+    def name_of(self, attr: int) -> str:
+        """Return the name of column index ``attr``."""
+        try:
+            return self._names[attr]
+        except IndexError:
+            raise SchemaError(f"column index {attr} out of range for {self!r}") from None
+
+    def index_of(self, name: str) -> int:
+        """Return the column index of ``name``."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError(f"unknown column {name!r}") from None
+
+    def attr_set(self, columns: Iterable[Union[str, int]]) -> AttrSet:
+        """Build an attribute-set bitmask from column names or indices."""
+        mask = attrset.EMPTY
+        for col in columns:
+            mask = attrset.add(mask, self.resolve(col))
+        return mask
+
+    def resolve(self, column: Union[str, int]) -> int:
+        """Normalize a column reference (name or index) to an index."""
+        if isinstance(column, str):
+            return self.index_of(column)
+        if isinstance(column, int):
+            if not 0 <= column < len(self._names):
+                raise SchemaError(f"column index {column} out of range for {self!r}")
+            return column
+        raise SchemaError(f"column reference must be str or int, got {column!r}")
+
+    def all_attrs(self) -> AttrSet:
+        """Return the attribute set of the full schema."""
+        return attrset.full_set(len(self._names))
+
+    def format_attr_set(self, attr_set: AttrSet) -> str:
+        """Render an attribute-set bitmask with this schema's names."""
+        return attrset.format_attrs(attr_set, self._names)
+
+    def project(self, columns: Sequence[Union[str, int]]) -> "RelationSchema":
+        """Return a new schema restricted to ``columns`` (in given order)."""
+        return RelationSchema([self.name_of(self.resolve(c)) for c in columns])

@@ -1,0 +1,5 @@
+"""Unique column combinations (minimal keys of a relation instance)."""
+
+from .discovery import UCCResult, discover_uccs
+
+__all__ = ["UCCResult", "discover_uccs"]

@@ -1,0 +1,51 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.relational.null import NULL
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema
+
+
+@pytest.fixture
+def city_relation() -> Relation:
+    """A small hand-checkable relation.
+
+    Facts (by column): zip -> city holds; city -> zip is violated
+    (city c1 spans zips z1 and z2); state is constant; name is a key.
+    """
+    rows = [
+        ("ann", "z1", "c1", "nc"),
+        ("bob", "z1", "c1", "nc"),
+        ("cat", "z2", "c1", "nc"),
+        ("dan", "z3", "c2", "nc"),
+        ("eve", "z3", "c2", "nc"),
+        ("fay", "z4", "c3", "nc"),
+    ]
+    return Relation.from_rows(rows, RelationSchema(["name", "zip", "city", "state"]))
+
+
+@pytest.fixture
+def null_relation() -> Relation:
+    """A relation with null markers for semantics tests."""
+    rows = [
+        ("a", NULL, "x"),
+        ("b", NULL, "x"),
+        ("c", "v", "y"),
+        ("d", "v", "y"),
+    ]
+    return Relation.from_rows(rows, RelationSchema(["id", "maybe", "tag"]))
+
+
+@pytest.fixture
+def duplicate_relation() -> Relation:
+    """Contains exact duplicate rows (a multiset relation)."""
+    rows = [
+        ("1", "a", "p"),
+        ("1", "a", "p"),
+        ("2", "b", "p"),
+        ("3", "a", "q"),
+    ]
+    return Relation.from_rows(rows, RelationSchema(["k", "g", "h"]))

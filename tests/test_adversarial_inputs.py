@@ -1,0 +1,93 @@
+"""Adversarial and degenerate inputs for the discovery stack."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import make_algorithm
+from repro.relational import attrset
+from repro.relational.fd import FD
+from repro.relational.null import NULL
+from repro.relational.relation import Relation
+
+HYBRIDS = ["tane", "fdep2", "fastfds", "hyfd", "dhyfd"]
+
+
+def fds_of(name, rel):
+    return make_algorithm(name).discover(rel).fds
+
+
+@pytest.mark.parametrize("name", HYBRIDS)
+class TestDegenerateShapes:
+    def test_identical_columns(self, name):
+        """Duplicated columns determine each other pairwise."""
+        rows = [(v, v, str(i)) for i, v in enumerate("aabbcc")]
+        rel = Relation.from_rows(rows, ["x", "y", "id"])
+        fds = fds_of(name, rel)
+        assert FD.of([0], 1) in fds
+        assert FD.of([1], 0) in fds
+
+    def test_all_nulls_column_eq(self, name):
+        rows = [(str(i), NULL) for i in range(5)]
+        rel = Relation.from_rows(rows, ["id", "void"])
+        fds = fds_of(name, rel)
+        # under EQ an all-null column is constant
+        assert FD.of([], 1) in fds
+
+    def test_all_nulls_column_neq(self, name):
+        rows = [(str(i % 2), NULL) for i in range(5)]
+        rel = Relation.from_rows(rows, ["grp", "void"], semantics="neq")
+        fds = fds_of(name, rel)
+        # under NEQ every null is unique: the column is a key
+        assert FD.of([1], 0) in fds
+        assert FD.of([], 1) not in fds
+
+    def test_wide_single_row(self, name):
+        rel = Relation.from_rows([tuple(str(i) for i in range(12))])
+        fds = fds_of(name, rel)
+        assert len(fds) == 12
+        assert all(fd.lhs == attrset.EMPTY for fd in fds)
+
+    def test_two_identical_rows(self, name):
+        rel = Relation.from_rows([("a", "b"), ("a", "b")])
+        fds = fds_of(name, rel)
+        assert FD.of([], 0) in fds
+        assert FD.of([], 1) in fds
+
+    def test_pairwise_equivalent_columns(self, name):
+        """Three copies of one column: a cycle of singleton FDs, no
+        2-attribute LHS should survive minimization."""
+        rows = [(v, v, v) for v in "abcab"]
+        rel = Relation.from_rows(rows)
+        fds = fds_of(name, rel)
+        assert all(fd.lhs_size <= 1 for fd in fds)
+        assert len(fds) == 6
+
+    def test_binary_matrix_complement(self, name):
+        """A column and its logical complement determine each other."""
+        rows = [(str(b), str(1 - b), str(i)) for i, b in enumerate([0, 1, 0, 1, 1])]
+        rel = Relation.from_rows(rows, ["b", "notb", "id"])
+        fds = fds_of(name, rel)
+        assert FD.of([0], 1) in fds
+        assert FD.of([1], 0) in fds
+
+
+class TestValueEdgeCases:
+    @pytest.mark.parametrize("name", ["dhyfd", "tane"])
+    def test_values_with_weird_types(self, name):
+        """Mixed hashable Python values are fine (DIIS sees equality only)."""
+        rows = [
+            (1, "1", ("t", 1)),
+            (1, "1", ("t", 1)),
+            (2, "2", ("t", 2)),
+        ]
+        rel = Relation.from_rows(rows, ["int", "str", "tup"])
+        fds = fds_of(name, rel)
+        assert FD.of([0], 1) in fds
+
+    @pytest.mark.parametrize("name", ["dhyfd", "fdep2"])
+    def test_empty_string_is_a_value_not_null(self, name):
+        rows = [("", "x"), ("", "x"), ("v", "y")]
+        rel = Relation.from_rows(rows, ["a", "b"])
+        fds = fds_of(name, rel)
+        assert FD.of([0], 1) in fds  # "" behaves like any other value

@@ -1,0 +1,124 @@
+"""Cross-algorithm agreement: every algorithm returns the oracle cover.
+
+This is the core correctness property of the whole library: TANE, the
+FDEP family, HyFD and DHyFD are different strategies for the same
+problem and must produce the identical left-reduced cover.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import make_algorithm
+from repro.algorithms.naive import NaiveFDDiscovery
+from repro.datasets.synthetic import (
+    duplicate_template_relation,
+    planted_fd_relation,
+    random_relation,
+)
+from repro.relational.null import NULL
+from repro.relational.relation import Relation
+
+COMPARED = ["tane", "fdep", "fdep1", "fdep2", "hyfd", "dhyfd"]
+
+
+def oracle(relation):
+    return NaiveFDDiscovery().discover(relation).fds
+
+
+@pytest.mark.parametrize("name", COMPARED)
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_random_small_domains(name, seed):
+    rel = random_relation(35, 5, domain_sizes=2, seed=seed)
+    assert make_algorithm(name).discover(rel).fds == oracle(rel)
+
+
+@pytest.mark.parametrize("name", COMPARED)
+def test_with_nulls_eq(name):
+    rel = random_relation(30, 5, domain_sizes=3, null_rate=0.25, seed=3)
+    assert make_algorithm(name).discover(rel).fds == oracle(rel)
+
+
+@pytest.mark.parametrize("name", COMPARED)
+def test_with_nulls_neq(name):
+    rel = random_relation(30, 5, domain_sizes=3, null_rate=0.25, seed=3,
+                          semantics="neq")
+    assert make_algorithm(name).discover(rel).fds == oracle(rel)
+
+
+@pytest.mark.parametrize("name", COMPARED)
+def test_planted_fds(name):
+    rel = planted_fd_relation(
+        45, 6, [([0, 1], 2), ([3], 4)], base_domain=6, seed=5
+    )
+    assert make_algorithm(name).discover(rel).fds == oracle(rel)
+
+
+@pytest.mark.parametrize("name", COMPARED)
+def test_near_duplicates(name):
+    rel = duplicate_template_relation(40, 6, 4, mutation_rate=0.15, seed=6)
+    assert make_algorithm(name).discover(rel).fds == oracle(rel)
+
+
+@pytest.mark.parametrize("name", COMPARED)
+def test_all_rows_identical(name):
+    rel = Relation.from_rows([("a", "b", "c")] * 5)
+    got = make_algorithm(name).discover(rel).fds
+    assert got == oracle(rel)
+    assert len(got) == 3  # each column constant
+
+
+@pytest.mark.parametrize("name", COMPARED)
+def test_two_rows(name):
+    rel = Relation.from_rows([("a", "x", "1"), ("a", "y", "1")])
+    assert make_algorithm(name).discover(rel).fds == oracle(rel)
+
+
+# ---------------------------------------------------------------------------
+# Property-based: random relations drawn by hypothesis
+# ---------------------------------------------------------------------------
+
+relations = st.builds(
+    random_relation,
+    n_rows=st.integers(1, 30),
+    n_cols=st.integers(1, 5),
+    domain_sizes=st.integers(1, 4),
+    null_rate=st.sampled_from([0.0, 0.2]),
+    seed=st.integers(0, 10_000),
+)
+
+
+@settings(
+    deadline=None,
+    max_examples=30,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(rel=relations, name=st.sampled_from(COMPARED))
+def test_agreement_property(rel, name):
+    assert make_algorithm(name).discover(rel).fds == oracle(rel)
+
+
+@settings(deadline=None, max_examples=15)
+@given(
+    rows=st.lists(
+        st.tuples(
+            st.one_of(st.none(), st.integers(0, 2)),
+            st.one_of(st.none(), st.integers(0, 2)),
+            st.one_of(st.none(), st.integers(0, 2)),
+            st.one_of(st.none(), st.integers(0, 2)),
+        ),
+        min_size=1,
+        max_size=20,
+    ),
+    semantics=st.sampled_from(["eq", "neq"]),
+    name=st.sampled_from(["tane", "fdep2", "hyfd", "dhyfd"]),
+)
+def test_agreement_arbitrary_tables(rows, semantics, name):
+    """Arbitrary tables with nulls under both semantics."""
+    rel = Relation.from_rows(
+        [[NULL if v is None else v for v in row] for row in rows],
+        semantics=semantics,
+    )
+    assert make_algorithm(name).discover(rel).fds == oracle(rel)

@@ -1,0 +1,85 @@
+"""Unit tests for Armstrong relation construction."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import DHyFD
+from repro.covers.canonical import canonical_cover
+from repro.covers.implication import equivalent
+from repro.datasets.armstrong import armstrong_relation, closed_sets
+from repro.relational import attrset
+from repro.relational.fd import FD
+
+
+def A(*attrs):
+    return attrset.from_attrs(attrs)
+
+
+class TestClosedSets:
+    def test_no_fds_all_subsets_closed(self):
+        sets = closed_sets(3, [])
+        assert len(sets) == 7  # all subsets except R itself
+
+    def test_chain(self):
+        # 0 -> 1 -> 2: closed sets are ∅, {1,2}... let's verify key facts
+        sets = closed_sets(3, [FD(A(0), A(1)), FD(A(1), A(2))])
+        assert attrset.EMPTY in sets
+        assert A(2) in sets
+        assert A(1, 2) in sets
+        assert A(0) not in sets  # closure of {0} is R
+        for closed in sets:
+            assert closed != A(0, 1, 2)
+
+    def test_width_guard(self):
+        with pytest.raises(ValueError):
+            closed_sets(20, [])
+
+
+class TestArmstrongRelation:
+    def test_roundtrip_simple(self):
+        fds = [FD(A(0), A(1))]
+        rel = armstrong_relation(3, fds)
+        discovered = DHyFD().discover(rel).fds
+        assert equivalent(discovered, fds)
+
+    def test_roundtrip_chain(self):
+        fds = [FD(A(0), A(1)), FD(A(1), A(2))]
+        rel = armstrong_relation(4, fds)
+        discovered = DHyFD().discover(rel).fds
+        assert equivalent(discovered, fds)
+
+    def test_roundtrip_empty(self):
+        rel = armstrong_relation(3, [])
+        discovered = DHyFD().discover(rel).fds
+        assert len(discovered) == 0
+
+    def test_exact_canonical_recovery(self):
+        fds = [FD(A(0), A(1, 2)), FD(A(1, 3), A(0))]
+        rel = armstrong_relation(4, fds)
+        discovered = DHyFD().discover(rel).fds
+        assert canonical_cover(discovered) == canonical_cover(fds)
+
+    def test_constant_fd(self):
+        fds = [FD(attrset.EMPTY, A(0))]
+        rel = armstrong_relation(2, fds)
+        discovered = DHyFD().discover(rel).fds
+        assert equivalent(discovered, fds)
+
+    @settings(deadline=None, max_examples=20)
+    @given(
+        raw=st.lists(
+            st.tuples(st.integers(0, 15), st.integers(0, 3)), max_size=4
+        )
+    )
+    def test_roundtrip_property(self, raw):
+        """discover(armstrong(Σ)) ≡ Σ for arbitrary small FD sets."""
+        fds = []
+        for lhs_bits, rhs_attr in raw:
+            lhs = lhs_bits & ~attrset.singleton(rhs_attr)
+            fds.append(FD(lhs, attrset.singleton(rhs_attr)))
+        rel = armstrong_relation(4, fds)
+        discovered = DHyFD().discover(rel).fds
+        assert equivalent(discovered, fds)

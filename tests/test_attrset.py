@@ -1,0 +1,124 @@
+"""Unit tests for bitmask attribute sets."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.relational import attrset
+
+attr_sets = st.integers(min_value=0, max_value=(1 << 20) - 1)
+
+
+class TestBasics:
+    def test_empty_is_zero(self):
+        assert attrset.EMPTY == 0
+
+    def test_singleton(self):
+        assert attrset.singleton(0) == 1
+        assert attrset.singleton(3) == 8
+
+    def test_from_attrs(self):
+        assert attrset.from_attrs([0, 2]) == 0b101
+        assert attrset.from_attrs([]) == attrset.EMPTY
+        assert attrset.from_attrs([1, 1, 1]) == 0b10
+
+    def test_full_set(self):
+        assert attrset.full_set(3) == 0b111
+        assert attrset.full_set(1) == 0b1
+
+    def test_contains(self):
+        mask = attrset.from_attrs([1, 4])
+        assert attrset.contains(mask, 1)
+        assert attrset.contains(mask, 4)
+        assert not attrset.contains(mask, 0)
+        assert not attrset.contains(mask, 5)
+
+    def test_add_remove(self):
+        mask = attrset.EMPTY
+        mask = attrset.add(mask, 2)
+        assert attrset.contains(mask, 2)
+        mask = attrset.remove(mask, 2)
+        assert mask == attrset.EMPTY
+        # removing an absent attribute is a no-op
+        assert attrset.remove(attrset.singleton(1), 5) == attrset.singleton(1)
+
+    def test_difference_and_complement(self):
+        left = attrset.from_attrs([0, 1, 2])
+        right = attrset.from_attrs([1, 3])
+        assert attrset.difference(left, right) == attrset.from_attrs([0, 2])
+        assert attrset.complement(left, 4) == attrset.singleton(3)
+
+    def test_count(self):
+        assert attrset.count(attrset.EMPTY) == 0
+        assert attrset.count(0b1011) == 3
+
+    def test_iter_and_to_list(self):
+        mask = attrset.from_attrs([5, 1, 3])
+        assert list(attrset.iter_attrs(mask)) == [1, 3, 5]
+        assert attrset.to_list(mask) == [1, 3, 5]
+
+    def test_lowest_highest(self):
+        mask = attrset.from_attrs([2, 6])
+        assert attrset.lowest(mask) == 2
+        assert attrset.highest(mask) == 6
+
+    def test_lowest_highest_empty_raise(self):
+        with pytest.raises(ValueError):
+            attrset.lowest(attrset.EMPTY)
+        with pytest.raises(ValueError):
+            attrset.highest(attrset.EMPTY)
+
+    def test_subset_relations(self):
+        small = attrset.from_attrs([1])
+        big = attrset.from_attrs([1, 2])
+        assert attrset.is_subset(small, big)
+        assert attrset.is_subset(big, big)
+        assert not attrset.is_proper_subset(big, big)
+        assert attrset.is_proper_subset(small, big)
+        assert not attrset.is_subset(big, small)
+        assert attrset.is_subset(attrset.EMPTY, small)
+
+    def test_iter_subsets(self):
+        mask = attrset.from_attrs([0, 2])
+        subsets = set(attrset.iter_subsets(mask))
+        assert subsets == {0, 1, 4, 5}
+
+    def test_iter_subsets_empty(self):
+        assert list(attrset.iter_subsets(attrset.EMPTY)) == [0]
+
+    def test_format(self):
+        names = ["a", "b", "c"]
+        assert attrset.format_attrs(attrset.EMPTY, names) == "∅"
+        assert attrset.format_attrs(attrset.from_attrs([0, 2]), names) == "a,c"
+
+
+class TestProperties:
+    @given(attr_sets, attr_sets)
+    def test_difference_disjoint_from_right(self, left, right):
+        assert attrset.difference(left, right) & right == 0
+
+    @given(attr_sets, attr_sets)
+    def test_subset_iff_union_is_big(self, small, big):
+        assert attrset.is_subset(small, big) == (small | big == big)
+
+    @given(attr_sets)
+    def test_count_matches_iteration(self, mask):
+        assert attrset.count(mask) == len(list(attrset.iter_attrs(mask)))
+
+    @given(attr_sets)
+    def test_roundtrip_through_list(self, mask):
+        assert attrset.from_attrs(attrset.to_list(mask)) == mask
+
+    @given(st.integers(min_value=0, max_value=(1 << 10) - 1))
+    def test_subset_enumeration_complete(self, mask):
+        subs = list(attrset.iter_subsets(mask))
+        assert len(subs) == 2 ** attrset.count(mask)
+        assert len(set(subs)) == len(subs)
+        assert all(attrset.is_subset(s, mask) for s in subs)
+
+    @given(attr_sets)
+    def test_complement_involution(self, mask):
+        n = 20
+        assert attrset.complement(attrset.complement(mask, n), n) == mask

@@ -1,0 +1,77 @@
+"""Unit tests for the shared benchmark harness."""
+
+from __future__ import annotations
+
+from repro.bench.runner import RunRecord, measure, run_discovery, run_matrix
+from repro.bench.tables import format_series, format_table
+from repro.datasets.synthetic import random_relation
+
+
+class TestMeasure:
+    def test_returns_result_and_metrics(self):
+        result, seconds, peak = measure(lambda: sum(range(1000)))
+        assert result == 499500
+        assert seconds >= 0
+        assert peak >= 0
+
+    def test_exception_propagates(self):
+        import pytest
+
+        with pytest.raises(RuntimeError):
+            measure(lambda: (_ for _ in ()).throw(RuntimeError("boom")))
+
+
+class TestRunDiscovery:
+    def test_successful_run(self, city_relation):
+        record, result = run_discovery(city_relation, "dhyfd", dataset="city")
+        assert not record.timed_out
+        assert record.fd_count == result.fd_count
+        assert record.seconds is not None and record.seconds >= 0
+        assert record.seconds_text != "TL"
+        assert record.memory_mb_text != "-"
+
+    def test_timeout_marked_tl(self):
+        rel = random_relation(300, 8, domain_sizes=2, seed=0)
+        record, result = run_discovery(
+            rel, "fdep", dataset="big", time_limit=0.0
+        )
+        assert record.timed_out
+        assert result is None
+        assert record.seconds_text == "TL"
+        assert record.memory_mb_text == "-"
+
+    def test_no_memory_tracking(self, city_relation):
+        record, _ = run_discovery(city_relation, "dhyfd", track_memory=False)
+        assert record.peak_memory_bytes == 0
+
+
+class TestRunMatrix:
+    def test_full_sweep(self, city_relation, duplicate_relation):
+        records = run_matrix(
+            {"city": city_relation, "dup": duplicate_relation},
+            ["dhyfd", "tane"],
+        )
+        assert len(records) == 4
+        cells = {(r.dataset, r.algorithm) for r in records}
+        assert ("city", "tane") in cells
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["a", 1], ["long-name", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert len({len(line) for line in lines[1:]}) >= 1
+        assert "long-name" in text
+
+    def test_format_table_title(self):
+        text = format_table(["x"], [[1]], title="Table II")
+        assert text.splitlines()[0] == "Table II"
+
+    def test_format_series(self):
+        text = format_series("rows", "seconds", [(1000, 0.5), (2000, 1.0)])
+        assert "rows" in text and "2000" in text
+
+    def test_ragged_rows_tolerated(self):
+        text = format_table(["a"], [["x", "extra"]])
+        assert "extra" in text

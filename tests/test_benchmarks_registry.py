@@ -1,0 +1,124 @@
+"""Unit tests for the benchmark replica registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.benchmarks import (
+    BenchmarkSpec,
+    benchmark_names,
+    get_spec,
+    load_benchmark,
+)
+
+PAPER_TABLE2 = {
+    # name: (rows, cols, fds) straight from Table II
+    "iris": (150, 5, 4),
+    "balance": (625, 5, 1),
+    "chess": (28056, 7, 1),
+    "abalone": (4177, 9, 137),
+    "nursery": (12960, 9, 1),
+    "breast": (699, 11, 46),
+    "bridges": (108, 13, 142),
+    "echo": (132, 13, 527),
+    "adult": (48842, 14, 78),
+    "letter": (20000, 17, 61),
+    "ncvoter": (1000, 19, 758),
+    "hepatitis": (155, 20, 8250),
+    "horse": (368, 29, 128727),
+    "plista": (1000, 63, 178152),
+    "flight": (1000, 109, 982631),
+    "fd_reduced": (250000, 30, 89571),
+    "weather": (262920, 18, 918),
+    "diabetic": (101766, 30, 40195),
+    "pdbx": (17305799, 13, 68),
+    "lineitem": (6001215, 16, 3984),
+    "uniprot": (512000, 30, 3703),
+}
+
+
+class TestRegistry:
+    def test_all_table2_datasets_present(self):
+        assert set(PAPER_TABLE2) <= set(benchmark_names())
+
+    def test_china_present_for_table4(self):
+        assert "china" in benchmark_names()
+
+    def test_paper_metadata_matches_table2(self):
+        for name, (rows, cols, fds) in PAPER_TABLE2.items():
+            spec = get_spec(name)
+            assert spec.paper_rows == rows, name
+            assert spec.paper_cols == cols, name
+            assert spec.paper_fds == fds, name
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            get_spec("not-a-dataset")
+
+    def test_spec_type(self):
+        assert isinstance(get_spec("iris"), BenchmarkSpec)
+
+
+class TestLoading:
+    @pytest.mark.parametrize("name", sorted(PAPER_TABLE2))
+    def test_loads_small_fragment(self, name):
+        rel = load_benchmark(name, n_rows=30)
+        # engineered replicas add a bounded number of twin/duplicate
+        # rows on top of the requested base rows
+        assert rel.n_rows >= 30
+        assert rel.n_rows <= 30 + 20 * rel.n_cols
+        spec = get_spec(name)
+        # bench replicas of very wide sets use fewer columns
+        assert rel.n_cols <= spec.paper_cols
+
+    def test_default_bench_rows(self):
+        spec = get_spec("iris")
+        rel = load_benchmark("iris")
+        assert rel.n_rows >= spec.bench_rows
+
+    def test_deterministic(self):
+        a = load_benchmark("bridges", n_rows=40, seed=5)
+        b = load_benchmark("bridges", n_rows=40, seed=5)
+        assert list(a.iter_rows()) == list(b.iter_rows())
+
+    def test_seed_varies(self):
+        a = load_benchmark("abalone", n_rows=40, seed=1)
+        b = load_benchmark("abalone", n_rows=40, seed=2)
+        assert list(a.iter_rows()) != list(b.iter_rows())
+
+    def test_null_flags_honest(self):
+        for name in benchmark_names():
+            spec = get_spec(name)
+            rel = load_benchmark(name, n_rows=min(spec.bench_rows, 300))
+            if spec.has_nulls:
+                assert rel.null_count() > 0, name
+            else:
+                assert rel.null_count() == 0, name
+
+
+class TestStructure:
+    def test_ncvoter_constant_state(self):
+        rel = load_benchmark("ncvoter", n_rows=200)
+        state = rel.schema.index_of("state")
+        assert rel.cardinality(state) == 1
+
+    def test_ncvoter_has_dirty_duplicate_voter_id(self):
+        rel = load_benchmark("ncvoter", n_rows=500)
+        voter = rel.schema.index_of("voter_id")
+        assert rel.cardinality(voter) < rel.n_rows
+
+    def test_balance_class_derived(self):
+        from repro.core.validation import check_fd
+        from repro.relational import attrset
+
+        rel = load_benchmark("balance")
+        assert check_fd(
+            rel, attrset.from_attrs([0, 1, 2, 3]), attrset.singleton(4)
+        )
+
+    def test_chess_single_fd(self):
+        from repro.algorithms import DHyFD
+
+        rel = load_benchmark("chess", n_rows=400)
+        fds = DHyFD().discover(rel).fds
+        assert len(fds) == 1

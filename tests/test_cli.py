@@ -1,0 +1,139 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.relational.io import write_csv
+
+
+@pytest.fixture
+def csv_path(tmp_path, city_relation):
+    path = tmp_path / "city.csv"
+    write_csv(city_relation, path)
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_discover_requires_input(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["discover"])
+
+    def test_mutually_exclusive_inputs(self, csv_path):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["discover", "--csv", csv_path, "--benchmark", "iris"]
+            )
+
+
+class TestDiscover:
+    def test_csv_input(self, csv_path, capsys):
+        assert main(["discover", "--csv", csv_path]) == 0
+        out = capsys.readouterr().out
+        assert "dhyfd" in out
+        assert "FDs" in out
+
+    def test_show_fds(self, csv_path, capsys):
+        main(["discover", "--csv", csv_path, "--show-fds"])
+        out = capsys.readouterr().out
+        assert "zip -> city" in out
+
+    def test_benchmark_input(self, capsys):
+        assert main(["discover", "--benchmark", "iris", "--rows", "60"]) == 0
+        assert "dhyfd" in capsys.readouterr().out
+
+    def test_algorithm_option(self, csv_path, capsys):
+        main(["discover", "--csv", csv_path, "--algorithm", "tane"])
+        assert "tane" in capsys.readouterr().out
+
+    def test_null_semantics_option(self, csv_path):
+        assert main(
+            ["discover", "--csv", csv_path, "--null-semantics", "neq"]
+        ) == 0
+
+
+class TestRank:
+    def test_rank_output(self, csv_path, capsys):
+        assert main(["rank", "--csv", csv_path, "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Top-ranked FDs" in out
+        assert "#red+0" in out
+
+
+class TestCovers:
+    def test_covers_output(self, csv_path, capsys):
+        assert main(["covers", "--csv", csv_path]) == 0
+        out = capsys.readouterr().out
+        assert "canonical" in out
+        assert "%Size" in out
+
+
+class TestReport:
+    def test_report_to_stdout(self, csv_path, capsys):
+        assert main(["report", "--csv", csv_path, "--title", "My data"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# My data")
+        assert "## Columns" in out
+
+    def test_report_to_file(self, csv_path, tmp_path, capsys):
+        out_path = tmp_path / "report.md"
+        assert main(
+            ["report", "--csv", csv_path, "--output", str(out_path)]
+        ) == 0
+        assert out_path.exists()
+        assert "## Functional dependencies" in out_path.read_text()
+
+
+class TestKeys:
+    def test_keys_output(self, csv_path, capsys):
+        assert main(["keys", "--csv", csv_path]) == 0
+        out = capsys.readouterr().out
+        assert "unique column combination" in out
+        assert "name" in out
+
+    def test_keys_duplicate_rows(self, tmp_path, capsys):
+        path = tmp_path / "dup.csv"
+        path.write_text("a,b\n1,2\n1,2\n")
+        assert main(["keys", "--csv", str(path)]) == 0
+        assert "duplicate rows" in capsys.readouterr().out
+
+
+class TestNormalize:
+    def test_normalize_output(self, csv_path, capsys):
+        assert main(["normalize", "--csv", csv_path]) == 0
+        out = capsys.readouterr().out
+        assert "candidate keys:" in out
+        assert "3NF synthesis:" in out
+        assert "lossless join: True" in out
+
+
+class TestDatasets:
+    def test_listing(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "ncvoter" in out
+        assert "paper shape" in out
+
+
+class TestGenerate:
+    def test_writes_csv(self, tmp_path, capsys):
+        out_path = tmp_path / "gen.csv"
+        assert main(
+            [
+                "generate",
+                "--benchmark",
+                "iris",
+                "--rows",
+                "25",
+                "--output",
+                str(out_path),
+            ]
+        ) == 0
+        assert out_path.exists()
+        text = out_path.read_text()
+        assert len(text.splitlines()) == 26  # header + 25 rows

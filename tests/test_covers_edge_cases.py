@@ -1,0 +1,92 @@
+"""Edge-case tests for covers and implication (cycles, empty LHSs)."""
+
+from __future__ import annotations
+
+from repro.covers.canonical import (
+    canonical_cover,
+    is_non_redundant,
+    left_reduce,
+    non_redundant_cover,
+)
+from repro.covers.implication import ImplicationEngine, closure, equivalent
+from repro.relational import attrset
+from repro.relational.fd import FD, FDSet
+
+
+def A(*attrs):
+    return attrset.from_attrs(attrs)
+
+
+class TestCyclicFDs:
+    def test_equivalence_cycle_cover(self):
+        # 0 <-> 1 <-> 2 cycle: canonical cover keeps a spanning cycle
+        fds = [
+            FD(A(0), A(1)), FD(A(1), A(2)), FD(A(2), A(0)),
+            FD(A(0), A(2)), FD(A(2), A(1)), FD(A(1), A(0)),
+        ]
+        cover = canonical_cover(fds)
+        assert equivalent(fds, cover)
+        assert is_non_redundant(list(cover.split()))
+        assert 2 <= len(cover) <= 3
+
+    def test_closure_through_cycle(self):
+        fds = [FD(A(0), A(1)), FD(A(1), A(0)), FD(A(1), A(2))]
+        assert closure(A(0), fds) == A(0, 1, 2)
+
+
+class TestConstantFDs:
+    def test_empty_lhs_absorbs_everything(self):
+        # ∅ -> 1 makes any X -> 1 redundant
+        fds = [FD(attrset.EMPTY, A(1)), FD(A(0), A(1))]
+        cover = canonical_cover(fds)
+        assert cover == FDSet([FD(attrset.EMPTY, A(1))])
+
+    def test_left_reduce_to_empty_lhs(self):
+        fds = [FD(attrset.EMPTY, A(1)), FD(A(0), A(1))]
+        reduced = left_reduce(fds)
+        assert FD(attrset.EMPTY, A(1)) in reduced
+        assert FD(A(0), A(1)) not in reduced
+
+    def test_constant_chain(self):
+        # ∅ -> 0, 0 -> 1: canonical merges to ∅ -> 0,1
+        fds = [FD(attrset.EMPTY, A(0)), FD(A(0), A(1))]
+        cover = canonical_cover(fds, assume_left_reduced=False)
+        assert cover == FDSet([FD(attrset.EMPTY, A(0, 1))])
+
+
+class TestEngineReuse:
+    def test_exclude_does_not_mutate(self):
+        fds = [FD(A(0), A(1)), FD(A(1), A(2))]
+        engine = ImplicationEngine(fds)
+        engine.closure(A(0), exclude=0)
+        # engine state unchanged by exclusion
+        assert engine.closure(A(0)) == A(0, 1, 2)
+
+    def test_interleaved_remove_and_closure(self):
+        fds = [FD(A(0), A(1)), FD(A(1), A(2)), FD(A(0), A(2))]
+        engine = ImplicationEngine(fds)
+        engine.remove(2)
+        assert engine.closure(A(0)) == A(0, 1, 2)  # still via transitivity
+        engine.remove(1)
+        assert engine.closure(A(0)) == A(0, 1)
+        engine.restore(1)
+        assert engine.closure(A(0)) == A(0, 1, 2)
+
+
+class TestNonRedundantDeterminism:
+    def test_same_input_same_output(self):
+        fds = [
+            FD(A(0), A(1)), FD(A(1), A(2)), FD(A(0), A(2)),
+            FD(A(2), A(3)), FD(A(0), A(3)),
+        ]
+        first = non_redundant_cover(fds)
+        second = non_redundant_cover(list(reversed(fds)))
+        assert first == second
+
+    def test_large_redundant_family(self):
+        # X -> A for every X containing 0: only {0} -> A survives
+        fds = [FD(A(0) | extra, A(5)) for extra in
+               [attrset.EMPTY, A(1), A(2), A(1, 2), A(3), A(1, 3)]]
+        reduced = left_reduce(fds)
+        cover = canonical_cover(reduced)
+        assert cover == FDSet([FD(A(0), A(5))])

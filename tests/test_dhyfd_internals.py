@@ -1,0 +1,136 @@
+"""White-box tests of DHyFD invariants (ids, levels, DDM consistency)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ddm import DynamicDataManager
+from repro.core.dhyfd import DHyFD
+from repro.core.validation import check_fd
+from repro.datasets.synthetic import planted_fd_relation, random_relation
+from repro.fdtree.extended import ExtendedFDTree
+from repro.fdtree.induction import synergized_induct
+from repro.relational import attrset
+
+
+class TestTreeLevelConsistency:
+    """nodes_at_level must agree with the incremental vl_nodes tracking
+    that Algorithm 1 performs during induction."""
+
+    @settings(deadline=None, max_examples=15)
+    @given(seed=st.integers(0, 500))
+    def test_vl_nodes_tracking_matches_dfs(self, seed):
+        import random as rnd
+
+        rng = rnd.Random(seed)
+        n_cols = 6
+        tree = ExtendedFDTree(n_cols)
+        tree.add_fd(attrset.EMPTY, attrset.full_set(n_cols))
+        vl = 2
+        vl_nodes = []
+        # seed the tree with a few inductions without tracking
+        for _ in range(4):
+            lhs = attrset.from_attrs(rng.sample(range(n_cols), rng.randint(1, 3)))
+            synergized_induct(tree, lhs, attrset.complement(lhs, n_cols))
+        vl_nodes = tree.nodes_at_level(vl)
+        before = {id(n) for n in vl_nodes}
+        # now induct with tracking at vl
+        for _ in range(4):
+            lhs = attrset.from_attrs(rng.sample(range(n_cols), rng.randint(2, 4)))
+            synergized_induct(
+                tree, lhs, attrset.complement(lhs, n_cols), cl=1, vl=vl,
+                vl_nodes=vl_nodes,
+            )
+        tracked = {id(n) for n in vl_nodes if not n.deleted}
+        dfs = {id(n) for n in tree.nodes_at_level(vl)}
+        # tracking may retain pruned-then-deleted ids; DFS is ground truth
+        assert dfs <= tracked | before
+        assert dfs == {id(n) for n in tree.nodes_at_level(vl)}
+        for node in tree.nodes_at_level(vl):
+            assert node.depth == vl
+
+
+class TestDDMConsistencyInvariant:
+    @settings(deadline=None, max_examples=10)
+    @given(seed=st.integers(0, 300))
+    def test_dynamic_ids_reference_subset_partitions(self, seed):
+        """Property (8) of extended FD-trees: a dynamic id's partition
+        attribute set is a subset of the node's path (or the lookup
+        falls back, which partition_for_node guarantees)."""
+        rel = random_relation(40, 6, domain_sizes=3, seed=seed)
+        ddm = DynamicDataManager(rel)
+        tree = ExtendedFDTree(6)
+        import random as rnd
+
+        rng = rnd.Random(seed)
+        for _ in range(6):
+            attrs = rng.sample(range(6), rng.randint(1, 4))
+            lhs = attrset.from_attrs(attrs[:-1]) or attrset.singleton(attrs[0])
+            rhs_attr = next(a for a in range(6) if not attrset.contains(lhs, a))
+            tree.add_fd(lhs, attrset.singleton(rhs_attr))
+        level2 = tree.nodes_at_level(2)
+        if level2:
+            ddm.update(level2)
+        for level in (1, 2, 3):
+            for node in tree.nodes_at_level(level):
+                partition = ddm.partition_for_node(node)
+                assert attrset.is_subset(partition.attrs, node.path())
+
+
+class TestDiscoveryOutcomes:
+    def test_all_outputs_valid_and_minimal(self):
+        rel = planted_fd_relation(60, 6, [([0, 1], 2)], base_domain=5, seed=2)
+        result = DHyFD().discover(rel)
+        for fd in result.fds:
+            assert check_fd(rel, fd.lhs, fd.rhs)
+            for attr in attrset.iter_attrs(fd.lhs):
+                assert not check_fd(rel, attrset.remove(fd.lhs, attr), fd.rhs)
+
+    def test_stats_populated(self):
+        rel = random_relation(50, 6, domain_sizes=3, seed=3)
+        result = DHyFD().discover(rel)
+        stats = result.stats
+        assert stats.validations > 0
+        assert stats.comparisons > 0
+        assert stats.induction_calls > 0
+        assert stats.partition_memory_peak_bytes > 0
+
+    def test_refreshes_happen_on_fd_dense_levels(self):
+        # valid level-2 FDs *with more FDs above them* (deeper planted
+        # LHSs) make the ratio trigger a DDM refresh: refreshing only
+        # pays off when reusable nodes lead to FDs at higher levels
+        rel = planted_fd_relation(
+            200, 8,
+            [([0, 1], 4), ([0, 1, 2, 3], 5), ([0, 1, 2], 6)],
+            base_domain=6, seed=1,
+        )
+        result = DHyFD(ratio_threshold=0.01).discover(rel)
+        assert result.stats.partition_refreshes >= 1
+
+    def test_no_refresh_when_disabled(self):
+        rel = planted_fd_relation(
+            150, 8, [([0, 1], 4), ([2, 3], 5)], base_domain=8, seed=1
+        )
+        result = DHyFD(
+            ratio_threshold=0.01, enable_ddm_updates=False
+        ).discover(rel)
+        assert result.stats.partition_refreshes == 0
+
+    def test_forced_refresh_every_level_still_correct(self):
+        """ratio_threshold 0 forces a DDM refresh at every eligible
+        level; the output must not change and ids stay consistent."""
+        rel = planted_fd_relation(
+            120, 7, [([0, 1], 3), ([0, 1, 2], 4)], base_domain=5, seed=8
+        )
+        forced = DHyFD(ratio_threshold=0.0).discover(rel)
+        normal = DHyFD().discover(rel)
+        assert forced.fds == normal.fds
+        assert forced.stats.partition_refreshes >= normal.stats.partition_refreshes
+
+    def test_level_log_monotone_levels(self):
+        rel = random_relation(60, 6, domain_sizes=3, seed=6)
+        result = DHyFD().discover(rel)
+        levels = [entry["level"] for entry in result.stats.level_log]
+        assert levels == sorted(levels)
+        assert levels and levels[0] == 1

@@ -1,0 +1,108 @@
+"""Unit tests for DIIS column encoding."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.relational.encoding import encode_column, reencode_dense
+from repro.relational.null import NULL, NullSemantics
+
+
+class TestEncodeColumn:
+    def test_dense_codes(self):
+        col = encode_column(["x", "y", "x", "z"], NullSemantics.EQ)
+        assert col.codes.tolist() == [0, 1, 0, 2]
+        assert col.cardinality == 3
+
+    def test_decoder_roundtrip(self):
+        values = ["b", "a", "b", "c"]
+        col = encode_column(values, NullSemantics.EQ)
+        decoded = [col.decode(int(c)) for c in col.codes]
+        assert decoded == values
+
+    def test_null_mask(self):
+        col = encode_column(["x", NULL, "y"], NullSemantics.EQ)
+        assert col.null_mask.tolist() == [False, True, False]
+
+    def test_null_eq_shares_one_code(self):
+        col = encode_column([NULL, "x", NULL], NullSemantics.EQ)
+        assert col.codes[0] == col.codes[2]
+        assert col.cardinality == 2
+
+    def test_null_neq_unique_codes(self):
+        col = encode_column([NULL, "x", NULL], NullSemantics.NEQ)
+        assert col.codes[0] != col.codes[2]
+        assert col.cardinality == 3
+
+    def test_null_decodes_to_none(self):
+        col = encode_column([NULL, "x"], NullSemantics.EQ)
+        assert col.decode(int(col.codes[0])) is None
+
+    def test_codes_within_cardinality(self):
+        col = encode_column([NULL, "x", NULL, "y", "x"], NullSemantics.NEQ)
+        assert col.codes.max() < col.cardinality
+        assert col.codes.min() >= 0
+
+    def test_empty_column(self):
+        col = encode_column([], NullSemantics.EQ)
+        assert len(col.codes) == 0
+        assert col.cardinality == 0
+
+    def test_values_distinct_from_nulls(self):
+        # A value equal to the string "None" must not collide with NULL.
+        col = encode_column(["None", NULL], NullSemantics.EQ)
+        assert col.codes[0] != col.codes[1]
+
+
+class TestReencodeDense:
+    def test_gap_compaction(self):
+        dense, n = reencode_dense(np.array([5, 9, 5, 100]))
+        assert n == 3
+        assert dense.max() == 2
+        assert dense[0] == dense[2]
+        assert len(set(dense.tolist())) == 3
+
+    @given(st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=60))
+    def test_equality_preserved(self, values):
+        arr = np.array(values)
+        dense, n = reencode_dense(arr)
+        assert n == len(set(values))
+        for i in range(len(values)):
+            for j in range(len(values)):
+                assert (values[i] == values[j]) == (dense[i] == dense[j])
+
+
+class TestEncodingProperties:
+    @given(
+        st.lists(
+            st.one_of(st.none(), st.integers(0, 10)), min_size=1, max_size=50
+        )
+    )
+    def test_eq_codes_match_value_equality(self, values):
+        col = encode_column(values, NullSemantics.EQ)
+        for i in range(len(values)):
+            for j in range(len(values)):
+                same = values[i] == values[j] or (
+                    values[i] is None and values[j] is None
+                )
+                assert (col.codes[i] == col.codes[j]) == same
+
+    @given(
+        st.lists(
+            st.one_of(st.none(), st.integers(0, 10)), min_size=1, max_size=50
+        )
+    )
+    def test_neq_nulls_never_match(self, values):
+        col = encode_column(values, NullSemantics.NEQ)
+        for i in range(len(values)):
+            for j in range(len(values)):
+                if i == j:
+                    continue
+                if values[i] is None or values[j] is None:
+                    assert col.codes[i] != col.codes[j]
+                else:
+                    assert (col.codes[i] == col.codes[j]) == (
+                        values[i] == values[j]
+                    )

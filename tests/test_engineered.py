@@ -1,0 +1,149 @@
+"""Unit tests for the exact-FD-control generator."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import DHyFD
+from repro.datasets.engineered import (
+    EngineeringError,
+    engineered_relation,
+    expected_fds,
+)
+from repro.relational import attrset
+
+
+def discovered_tuples(relation):
+    fds = DHyFD().discover(relation).fds
+    return {
+        (tuple(attrset.to_list(fd.lhs)), attrset.to_list(fd.rhs)[0]) for fd in fds
+    }
+
+
+class TestExpectedFds:
+    def test_planted_only(self):
+        assert expected_fds(4, [], [([0, 1], 2)]) == [((0, 1), 2)]
+
+    def test_key_expansion(self):
+        got = expected_fds(4, [[0, 1]], [])
+        assert got == [((0, 1), 2), ((0, 1), 3)]
+
+    def test_combined_sorted_unique(self):
+        got = expected_fds(4, [[0]], [([1], 2)])
+        assert got == sorted(set(got))
+
+
+class TestExactness:
+    def test_planted_fd_only(self):
+        rel = engineered_relation(120, 6, planted=[([0, 1], 2)], seed=3)
+        assert discovered_tuples(rel) == {((0, 1), 2)}
+
+    def test_key_only(self):
+        rel = engineered_relation(150, 5, keys=[[0, 1]], seed=4)
+        assert discovered_tuples(rel) == {((0, 1), 2), ((0, 1), 3), ((0, 1), 4)}
+
+    def test_singleton_key(self):
+        rel = engineered_relation(100, 4, keys=[[0]], seed=5)
+        assert discovered_tuples(rel) == {((0,), 1), ((0,), 2), ((0,), 3)}
+
+    def test_multiple_keys_and_plants(self):
+        keys = [[0, 1], [2, 3]]
+        planted = [([4, 5], 6)]
+        rel = engineered_relation(300, 8, keys=keys, planted=planted, seed=6)
+        assert discovered_tuples(rel) == set(expected_fds(8, keys, planted))
+
+    def test_nulls_do_not_change_structure(self):
+        rel = engineered_relation(
+            200, 6, keys=[[0]], null_rates={4: 0.15, 5: 0.2}, seed=7
+        )
+        assert discovered_tuples(rel) == set(expected_fds(6, [[0]], []))
+
+    def test_duplicates_do_not_change_structure(self):
+        rel = engineered_relation(
+            150, 5, keys=[[0, 1]], duplicate_factor=0.3, seed=8
+        )
+        assert discovered_tuples(rel) == set(expected_fds(5, [[0, 1]], []))
+        assert rel.n_rows > 150
+
+    def test_long_lhs_plant(self):
+        rel = engineered_relation(200, 7, planted=[([0, 1, 2, 3], 4)], seed=9)
+        assert discovered_tuples(rel) == {((0, 1, 2, 3), 4)}
+
+    def test_neq_exactness_without_dup_null_interaction(self):
+        """Under null ≠ null the guarantee holds when duplicates and
+        nulls are not combined (see the generator's docstring)."""
+        keys = [[0, 1]]
+        planted = [([2, 3], 4)]
+        rel = engineered_relation(
+            150, 7, keys=keys, planted=planted, null_rates={6: 0.15}, seed=21
+        ).with_semantics("neq")
+        assert discovered_tuples(rel) == set(expected_fds(7, keys, planted))
+
+    def test_neq_with_duplicates_no_nulls(self):
+        keys = [[0]]
+        rel = engineered_relation(
+            120, 5, keys=keys, duplicate_factor=0.2, seed=22
+        ).with_semantics("neq")
+        assert discovered_tuples(rel) == set(expected_fds(5, keys, []))
+
+    @settings(deadline=None, max_examples=10)
+    @given(seed=st.integers(0, 100))
+    def test_exactness_property(self, seed):
+        keys = [[0]]
+        planted = [([1, 2], 3)]
+        rel = engineered_relation(
+            80, 6, keys=keys, planted=planted, seed=seed,
+            null_rates={5: 0.1}, duplicate_factor=0.1,
+        )
+        assert discovered_tuples(rel) == set(expected_fds(6, keys, planted))
+
+
+class TestValidation:
+    def test_overlapping_keys_rejected(self):
+        with pytest.raises(EngineeringError):
+            engineered_relation(50, 5, keys=[[0, 1], [1, 2]])
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(EngineeringError):
+            engineered_relation(50, 5, keys=[[]])
+
+    def test_key_out_of_range(self):
+        with pytest.raises(EngineeringError):
+            engineered_relation(50, 3, keys=[[5]])
+
+    def test_trivial_plant_rejected(self):
+        with pytest.raises(EngineeringError):
+            engineered_relation(50, 5, planted=[([0, 1], 1)])
+
+    def test_shared_lhs_rejected(self):
+        with pytest.raises(EngineeringError):
+            engineered_relation(50, 6, planted=[([0, 1], 2), ([1, 3], 4)])
+
+    def test_plant_touching_key_rejected(self):
+        with pytest.raises(EngineeringError):
+            engineered_relation(50, 6, keys=[[0]], planted=[([0, 1], 2)])
+
+    def test_null_on_structural_column_rejected(self):
+        with pytest.raises(EngineeringError):
+            engineered_relation(50, 6, keys=[[0]], null_rates={0: 0.1})
+        with pytest.raises(EngineeringError):
+            engineered_relation(
+                50, 6, planted=[([1], 2)], null_rates={2: 0.1}
+            )
+
+    def test_empty_lhs_plant_rejected(self):
+        with pytest.raises(EngineeringError):
+            engineered_relation(50, 5, planted=[([], 1)])
+
+    def test_derived_twice_rejected(self):
+        with pytest.raises(EngineeringError):
+            engineered_relation(50, 6, planted=[([0], 2), ([1], 2)])
+
+
+class TestDeterminism:
+    def test_same_seed_same_rows(self):
+        a = engineered_relation(60, 5, keys=[[0]], seed=11)
+        b = engineered_relation(60, 5, keys=[[0]], seed=11)
+        assert list(a.iter_rows()) == list(b.iter_rows())

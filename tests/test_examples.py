@@ -1,0 +1,54 @@
+"""Smoke tests: the example scripts run end to end."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: float = 120.0) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "canonical cover" in out
+        assert "∅ -> state" in out
+
+    def test_voter_profiling_small(self):
+        out = run_example("voter_profiling.py", "200")
+        assert "minimal LHSs determining `city`" in out
+        assert "σ1-style constant FDs" in out
+
+    def test_schema_normalization(self):
+        out = run_example("schema_normalization.py")
+        assert "3NF synthesis" in out
+        assert "lossless join: True" in out
+
+    def test_csv_profiling_small(self):
+        out = run_example("csv_profiling.py", "bridges", "60")
+        assert "null semantics: null=null" in out
+        assert "null semantics: null!=null" in out
+
+    @pytest.mark.slow
+    def test_incremental_monitoring(self):
+        out = run_example("incremental_monitoring.py", timeout=300.0)
+        assert "batch 4" in out
+
+    @pytest.mark.slow
+    def test_scalability_study(self):
+        out = run_example("scalability_study.py", timeout=600.0)
+        assert "row scalability" in out

@@ -1,0 +1,124 @@
+"""Unit tests for FastFDs and minimal hitting sets."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import FastFDs, NaiveFDDiscovery
+from repro.algorithms.fastfds import minimal_hitting_sets, minimize_set_family
+from repro.core.base import Deadline, TimeLimitExceeded
+from repro.datasets.synthetic import random_relation
+from repro.relational import attrset
+
+NO_DEADLINE = Deadline(None, "test")
+
+
+def A(*attrs):
+    return attrset.from_attrs(attrs)
+
+
+class TestMinimizeFamily:
+    def test_supersets_dropped(self):
+        assert minimize_set_family([A(0, 1), A(0)]) == [A(0)]
+
+    def test_incomparable_kept(self):
+        assert set(minimize_set_family([A(0), A(1)])) == {A(0), A(1)}
+
+    def test_duplicates_collapsed(self):
+        assert minimize_set_family([A(0), A(0)]) == [A(0)]
+
+
+class TestMinimalHittingSets:
+    def test_empty_family(self):
+        assert minimal_hitting_sets([], NO_DEADLINE) == [attrset.EMPTY]
+
+    def test_single_set(self):
+        hits = set(minimal_hitting_sets([A(0, 2)], NO_DEADLINE))
+        assert hits == {A(0), A(2)}
+
+    def test_disjoint_sets_cross_product(self):
+        hits = set(minimal_hitting_sets([A(0, 1), A(2, 3)], NO_DEADLINE))
+        assert hits == {A(0, 2), A(0, 3), A(1, 2), A(1, 3)}
+
+    def test_common_attribute(self):
+        hits = set(minimal_hitting_sets([A(0, 1), A(0, 2)], NO_DEADLINE))
+        assert A(0) in hits
+        assert A(1, 2) in hits
+        assert A(0, 1) not in hits  # not minimal
+
+    def test_chain(self):
+        hits = set(
+            minimal_hitting_sets([A(0), A(0, 1), A(0, 1, 2)], NO_DEADLINE)
+        )
+        assert hits == {A(0)}
+
+    @settings(deadline=None, max_examples=40)
+    @given(
+        family=st.lists(
+            st.integers(1, 63), min_size=1, max_size=6
+        )
+    )
+    def test_hitting_set_properties(self, family):
+        hits = minimal_hitting_sets(family, NO_DEADLINE)
+        assert hits
+        for h in hits:
+            # hits everything
+            assert all(h & s for s in family)
+            # minimal
+            for attr in attrset.iter_attrs(h):
+                reduced = attrset.remove(h, attr)
+                assert not all(reduced & s for s in family)
+        # pairwise incomparable
+        for left in hits:
+            for right in hits:
+                if left != right:
+                    assert not attrset.is_subset(left, right)
+
+    @settings(deadline=None, max_examples=25)
+    @given(family=st.lists(st.integers(1, 31), min_size=1, max_size=5))
+    def test_completeness_against_brute_force(self, family):
+        hits = set(minimal_hitting_sets(family, NO_DEADLINE))
+        brute = set()
+        for mask in range(32):
+            if all(mask & s for s in family):
+                if not any(
+                    all((mask & ~attrset.singleton(a)) & s for s in family)
+                    for a in attrset.iter_attrs(mask)
+                ):
+                    brute.add(mask)
+        assert hits == brute
+
+
+class TestFastFDs:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_matches_oracle(self, seed):
+        rel = random_relation(30, 5, domain_sizes=2, seed=seed)
+        assert FastFDs().discover(rel).fds == NaiveFDDiscovery().discover(rel).fds
+
+    def test_with_nulls_both_semantics(self):
+        for semantics in ("eq", "neq"):
+            rel = random_relation(
+                25, 5, domain_sizes=3, null_rate=0.2, seed=9, semantics=semantics
+            )
+            assert (
+                FastFDs().discover(rel).fds
+                == NaiveFDDiscovery().discover(rel).fds
+            )
+
+    def test_constant_column(self, city_relation):
+        fds = FastFDs().discover(city_relation).fds
+        from repro.relational.fd import FD
+
+        assert FD(attrset.EMPTY, A(3)) in fds
+
+    def test_time_limit(self):
+        rel = random_relation(300, 8, domain_sizes=2, seed=0)
+        with pytest.raises(TimeLimitExceeded):
+            FastFDs(time_limit=0.0).discover(rel)
+
+    def test_registered(self):
+        from repro.algorithms import make_algorithm
+
+        assert make_algorithm("fastfds").name == "fastfds"

@@ -1,0 +1,77 @@
+"""Tests for FD cover serialization."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import DHyFD
+from repro.datasets.synthetic import random_relation
+from repro.relational.fd import FD, FDSet
+from repro.relational.fd_io import (
+    cover_from_json,
+    cover_to_json,
+    load_cover,
+    save_cover,
+)
+from repro.relational.schema import RelationSchema
+
+
+@pytest.fixture
+def schema():
+    return RelationSchema(["a", "b", "c", "d"])
+
+
+class TestRoundtrip:
+    def test_simple(self, schema):
+        fds = FDSet([FD.of(["a"], "b", schema), FD.of(["b", "c"], ["a", "d"], schema)])
+        assert cover_from_json(cover_to_json(fds, schema), schema) == fds
+
+    def test_empty(self, schema):
+        assert cover_from_json(cover_to_json(FDSet(), schema), schema) == FDSet()
+
+    def test_empty_lhs(self, schema):
+        fds = FDSet([FD.of([], "a", schema)])
+        assert cover_from_json(cover_to_json(fds, schema), schema) == fds
+
+    def test_file_roundtrip(self, schema, tmp_path):
+        fds = FDSet([FD.of(["a"], "c", schema)])
+        path = tmp_path / "cover.json"
+        save_cover(fds, schema, path)
+        assert load_cover(path, schema) == fds
+
+    def test_survives_column_reordering(self, schema):
+        fds = FDSet([FD.of(["a"], "c", schema)])
+        text = cover_to_json(fds, schema)
+        reordered = RelationSchema(["c", "d", "a", "b"])
+        loaded = cover_from_json(text, reordered)
+        assert loaded == FDSet([FD.of(["a"], "c", reordered)])
+
+    @settings(deadline=None, max_examples=10)
+    @given(seed=st.integers(0, 200))
+    def test_discovered_cover_roundtrip(self, seed):
+        rel = random_relation(20, 4, domain_sizes=3, seed=seed)
+        fds = DHyFD().discover(rel).fds
+        text = cover_to_json(fds, rel.schema)
+        assert cover_from_json(text, rel.schema) == fds
+
+
+class TestValidation:
+    def test_wrong_format_rejected(self, schema):
+        with pytest.raises(ValueError):
+            cover_from_json('{"format": "something-else"}', schema)
+
+    def test_wrong_version_rejected(self, schema):
+        with pytest.raises(ValueError):
+            cover_from_json(
+                '{"format": "repro-fd-cover", "version": 99}', schema
+            )
+
+    def test_unknown_columns_rejected(self, schema):
+        text = (
+            '{"format": "repro-fd-cover", "version": 1, '
+            '"columns": ["zzz"], "fds": []}'
+        )
+        with pytest.raises(ValueError):
+            cover_from_json(text, schema)

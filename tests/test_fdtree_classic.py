@@ -1,0 +1,101 @@
+"""Unit tests for classical FD-trees (Flach & Savnik)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fdtree.classic import ClassicFDTree
+from repro.relational import attrset
+from repro.relational.fd import FD
+
+
+def A(*attrs):
+    return attrset.from_attrs(attrs)
+
+
+class TestAddAndIterate:
+    def test_single(self):
+        tree = ClassicFDTree(4)
+        tree.add_fd(A(0, 1), 2)
+        assert set(tree.iter_fds()) == {FD(A(0, 1), A(2))}
+        assert tree.fd_count() == 1
+
+    def test_labels_propagate_along_path(self):
+        tree = ClassicFDTree(4)
+        tree.add_fd(A(0, 1), 2)
+        root = tree.root
+        assert attrset.contains(root.subtree_rhs, 2)
+        child = root.children[0]
+        assert attrset.contains(child.subtree_rhs, 2)
+        grandchild = child.children[1]
+        assert attrset.contains(grandchild.fd_rhs, 2)
+
+    def test_empty_lhs(self):
+        tree = ClassicFDTree(3)
+        tree.add_fd(attrset.EMPTY, 1)
+        assert attrset.contains(tree.root.fd_rhs, 1)
+
+    def test_multiple_rhs_same_path(self):
+        tree = ClassicFDTree(4)
+        tree.add_fd(A(0), 1)
+        tree.add_fd(A(0), 2)
+        assert set(tree.iter_fds()) == {FD(A(0), A(1, 2))}
+        assert tree.fd_count() == 2
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            ClassicFDTree(0)
+
+
+class TestGeneralizations:
+    def build(self):
+        tree = ClassicFDTree(6)
+        tree.add_fd(A(0), 1)
+        tree.add_fd(A(0, 2), 3)
+        tree.add_fd(A(2, 3), 5)
+        return tree
+
+    def test_contains_exact(self):
+        tree = self.build()
+        assert tree.contains_generalization(A(0), 1)
+
+    def test_contains_superset_lhs(self):
+        tree = self.build()
+        assert tree.contains_generalization(A(0, 2, 4), 3)
+
+    def test_missing(self):
+        tree = self.build()
+        assert not tree.contains_generalization(A(0), 3)
+        assert not tree.contains_generalization(A(2), 5)
+
+    def test_remove_generalizations(self):
+        tree = self.build()
+        removed = tree.remove_generalizations(A(0, 2, 3), 3)
+        assert removed == [A(0, 2)]
+        assert not tree.contains_generalization(A(0, 2), 3)
+        # other FDs untouched
+        assert tree.contains_generalization(A(0), 1)
+
+    def test_remove_multiple(self):
+        tree = ClassicFDTree(5)
+        tree.add_fd(A(0), 4)
+        tree.add_fd(A(1, 2), 4)
+        removed = tree.remove_generalizations(A(0, 1, 2), 4)
+        assert {frozenset(attrset.to_list(m)) for m in removed} == {
+            frozenset({0}),
+            frozenset({1, 2}),
+        }
+        assert tree.fd_count() == 0
+
+    def test_remove_nothing(self):
+        tree = self.build()
+        assert tree.remove_generalizations(A(4, 5), 1) == []
+
+    def test_stale_labels_tolerated(self):
+        tree = self.build()
+        tree.remove_generalizations(A(0), 1)
+        # subtree label may be stale but queries stay correct
+        assert not tree.contains_generalization(A(0, 1, 2, 3, 4, 5), 1)
+
+    def test_node_count(self):
+        assert self.build().node_count() == 4

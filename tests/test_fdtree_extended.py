@@ -1,0 +1,197 @@
+"""Unit tests for extended FD-trees (paper §IV-C, Algorithm 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fdtree.extended import ExtendedFDTree, ExtFDNode
+from repro.relational import attrset
+from repro.relational.fd import FD
+
+
+def A(*attrs):
+    return attrset.from_attrs(attrs)
+
+
+class TestAddFd:
+    def test_single_fd_path(self):
+        tree = ExtendedFDTree(5)
+        tree.add_fd(A(0, 2), A(3))
+        fds = list(tree.iter_fds())
+        assert fds == [FD(A(0, 2), A(3))]
+        assert tree.fd_count == 1
+
+    def test_paper_example_figure1(self):
+        # FDs A->B, AB->CD, CD->B over R = {A..E} (0..4).
+        tree = ExtendedFDTree(5)
+        tree.add_fd(A(0), A(1))
+        tree.add_fd(A(0, 1), A(2, 3))
+        tree.add_fd(A(2, 3), A(1))
+        assert set(tree.iter_fds()) == {
+            FD(A(0), A(1)),
+            FD(A(0, 1), A(2, 3)),
+            FD(A(2, 3), A(1)),
+        }
+        assert tree.fd_count == 4  # AB->CD counts two RHS attrs
+
+    def test_rhs_union_on_same_path(self):
+        tree = ExtendedFDTree(4)
+        tree.add_fd(A(0), A(1))
+        tree.add_fd(A(0), A(2))
+        assert list(tree.iter_fds()) == [FD(A(0), A(1, 2))]
+        assert tree.fd_count == 2
+
+    def test_empty_lhs_on_root(self):
+        tree = ExtendedFDTree(3)
+        tree.add_fd(attrset.EMPTY, A(0, 1, 2))
+        assert tree.root.rhs == A(0, 1, 2)
+        assert tree.fd_count == 3
+
+    def test_default_ids_inherit_consistently(self):
+        tree = ExtendedFDTree(5)
+        end = tree.add_fd(A(1, 3), A(4))
+        assert end.attr == 3
+        # With cl=0 nodes below level 1 inherit their parent's id; the
+        # parent's singleton partition π_1 refines a subset of {1,3}.
+        assert end.parent.id == 1
+        assert end.id == 1
+
+    def test_id_inheritance_beyond_controlled_level(self):
+        tree = ExtendedFDTree(6)
+        node = tree.add_fd(A(0, 1), A(5))
+        node.id = 10  # pretend the DDM assigned a dynamic id
+        # new FD extends the path below the controlled level 2
+        end = tree.add_fd(A(0, 1, 2, 3), A(5), cl=2, vl=4)
+        assert end.id == 10
+        assert end.parent.id == 10
+
+    def test_default_id_at_or_below_controlled_level(self):
+        tree = ExtendedFDTree(6)
+        tree.add_fd(A(0, 1), A(5))
+        # new sibling path entirely within the controlled level
+        end = tree.add_fd(A(0, 2), A(5), cl=2, vl=2)
+        assert end.id == 2  # default id = own attribute
+
+    def test_vl_nodes_updated(self):
+        tree = ExtendedFDTree(6)
+        vl_nodes = []
+        tree.add_fd(A(0, 2, 4), A(5), cl=1, vl=2, vl_nodes=vl_nodes)
+        assert [n.attr for n in vl_nodes] == [2]
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            ExtendedFDTree(0)
+
+
+class TestQueries:
+    def build(self):
+        tree = ExtendedFDTree(6)
+        tree.add_fd(A(0), A(1))
+        tree.add_fd(A(0, 2), A(3, 4))
+        tree.add_fd(A(2, 3), A(5))
+        return tree
+
+    def test_find_covered(self):
+        tree = self.build()
+        covered = tree.find_covered(A(0, 2), A(1, 3, 4, 5))
+        assert covered == A(1, 3, 4)  # 5 needs {2,3} which is not inside {0,2}
+
+    def test_find_covered_equal_lhs(self):
+        tree = self.build()
+        assert tree.find_covered(A(0), A(1)) == A(1)
+
+    def test_find_covered_nothing(self):
+        tree = self.build()
+        assert tree.find_covered(A(4, 5), A(1)) == attrset.EMPTY
+
+    def test_find_covered_requiring_matches_filtered(self):
+        tree = self.build()
+        # generalizations of {0,2,4} for candidates {1,3,4,5} that pass
+        # through attr 2: 0-2 -> {3,4} qualifies, 0 -> 1 does not
+        covered = tree.find_covered_requiring(A(0, 2, 4), A(1, 3, 4, 5), 2)
+        assert covered == A(3, 4)
+
+    def test_find_covered_requiring_through_first_attr(self):
+        tree = self.build()
+        covered = tree.find_covered_requiring(A(0, 2), A(1, 3, 4), 0)
+        assert covered == A(1, 3, 4)  # both FDs pass through attr 0
+
+    def test_find_covered_requiring_missing_attr(self):
+        tree = self.build()
+        covered = tree.find_covered_requiring(A(0, 2), A(1), 5)
+        assert covered == attrset.EMPTY
+
+    def test_contains_generalization(self):
+        tree = self.build()
+        assert tree.contains_generalization(A(0, 5), 1)
+        assert not tree.contains_generalization(A(2), 5)
+        assert tree.contains_generalization(A(2, 3), 5)
+
+    def test_nodes_at_level(self):
+        tree = self.build()
+        level1 = {n.attr for n in tree.nodes_at_level(1)}
+        assert level1 == {0, 2}
+        level2 = {n.attr for n in tree.nodes_at_level(2)}
+        assert level2 == {2, 3}
+        assert tree.nodes_at_level(3) == []
+
+    def test_nodes_at_level_zero_is_root(self):
+        tree = self.build()
+        assert tree.nodes_at_level(0) == [tree.root]
+
+    def test_max_depth(self):
+        assert self.build().max_depth() == 2
+
+    def test_node_count(self):
+        # paths: 0, 0-2, 2-3 -> nodes {0, 0.2, 2, 2.3}
+        assert self.build().node_count() == 4
+
+    def test_iter_fd_nodes(self):
+        tree = self.build()
+        assert len(list(tree.iter_fd_nodes())) == 3
+
+    def test_path(self):
+        tree = self.build()
+        end = tree.add_fd(A(1, 3, 4), A(5))
+        assert end.path() == A(1, 3, 4)
+
+
+class TestRemoval:
+    def test_strip_rhs_updates_count(self):
+        tree = ExtendedFDTree(5)
+        node = tree.add_fd(A(0), A(1, 2, 3))
+        tree.strip_rhs(node, A(1, 2))
+        assert tree.fd_count == 1
+        assert node.rhs == A(3)
+
+    def test_strip_rhs_ignores_absent(self):
+        tree = ExtendedFDTree(5)
+        node = tree.add_fd(A(0), A(1))
+        tree.strip_rhs(node, A(2, 3))
+        assert tree.fd_count == 1
+
+    def test_prune_dead_path(self):
+        tree = ExtendedFDTree(5)
+        node = tree.add_fd(A(0, 1, 2), A(3))
+        tree.strip_rhs(node, A(3))
+        tree.prune_dead_path(node)
+        assert tree.node_count() == 0
+        assert node.deleted
+
+    def test_prune_stops_at_live_ancestor(self):
+        tree = ExtendedFDTree(5)
+        tree.add_fd(A(0), A(4))
+        node = tree.add_fd(A(0, 1), A(3))
+        tree.strip_rhs(node, A(3))
+        tree.prune_dead_path(node)
+        assert tree.node_count() == 1  # node 0 survives (it is an FD-node)
+        assert list(tree.iter_fds()) == [FD(A(0), A(4))]
+
+    def test_prune_keeps_node_with_children(self):
+        tree = ExtendedFDTree(5)
+        parent = tree.add_fd(A(0), A(4))
+        tree.add_fd(A(0, 1), A(3))
+        tree.strip_rhs(parent, A(4))
+        tree.prune_dead_path(parent)
+        assert not parent.deleted
+        assert tree.node_count() == 2

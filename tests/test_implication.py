@@ -1,0 +1,123 @@
+"""Unit tests for closures and FD implication."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.covers.implication import (
+    ImplicationEngine,
+    closure,
+    equivalent,
+    implies,
+)
+from repro.relational import attrset
+from repro.relational.fd import FD
+
+
+def A(*attrs):
+    return attrset.from_attrs(attrs)
+
+
+FDS = [FD(A(0), A(1)), FD(A(1, 2), A(3)), FD(A(3), A(4))]
+
+
+class TestClosure:
+    def test_transitive_chain(self):
+        assert closure(A(0, 2), FDS) == A(0, 1, 2, 3, 4)
+
+    def test_no_fire(self):
+        assert closure(A(4), FDS) == A(4)
+
+    def test_partial(self):
+        assert closure(A(0), FDS) == A(0, 1)
+
+    def test_empty_lhs_fd_always_fires(self):
+        fds = [FD(attrset.EMPTY, A(2)), FD(A(2), A(3))]
+        assert closure(attrset.EMPTY, fds) == A(2, 3)
+
+    def test_empty_fd_set(self):
+        assert closure(A(1), []) == A(1)
+
+    def test_reflexive(self):
+        assert attrset.is_subset(A(0, 2), closure(A(0, 2), FDS))
+
+
+class TestEngine:
+    def test_exclude_breaks_chain(self):
+        engine = ImplicationEngine(FDS)
+        assert engine.closure(A(0, 2), exclude=1) == A(0, 1, 2)
+
+    def test_remove_restore(self):
+        engine = ImplicationEngine(FDS)
+        engine.remove(0)
+        assert engine.closure(A(0)) == A(0)
+        engine.restore(0)
+        assert engine.closure(A(0)) == A(0, 1)
+
+    def test_active_indices(self):
+        engine = ImplicationEngine(FDS)
+        engine.remove(1)
+        assert engine.active_indices() == [0, 2]
+
+    def test_implies(self):
+        engine = ImplicationEngine(FDS)
+        assert engine.implies(FD(A(0, 2), A(4)))
+        assert not engine.implies(FD(A(0), A(3)))
+
+    def test_repeated_closures_independent(self):
+        engine = ImplicationEngine(FDS)
+        first = engine.closure(A(0, 2))
+        second = engine.closure(A(0, 2))
+        assert first == second
+
+
+class TestImpliesAndEquivalent:
+    def test_implies_helper(self):
+        assert implies(FDS, FD(A(0, 1, 2), A(4)))
+        assert not implies(FDS, FD(A(2), A(3)))
+
+    def test_reflexive_closure_implication(self):
+        # reflexivity: the closure of X always contains X itself
+        assert closure(A(0, 1), []) == A(0, 1)
+
+    def test_equivalent_true(self):
+        left = [FD(A(0), A(1)), FD(A(1), A(2))]
+        right = [FD(A(0), A(1, 2)), FD(A(1), A(2))]
+        assert equivalent(left, right)
+
+    def test_equivalent_false(self):
+        assert not equivalent([FD(A(0), A(1))], [FD(A(1), A(0))])
+
+    def test_equivalent_empty(self):
+        assert equivalent([], [])
+
+
+@settings(deadline=None, max_examples=40)
+@given(
+    fds=st.lists(
+        st.tuples(st.integers(0, 31), st.integers(1, 31)).map(
+            lambda pair: FD(pair[0] & ~pair[1], pair[1])
+            if pair[1] and (pair[0] & ~pair[1]) != pair[1]
+            else FD(attrset.EMPTY, pair[1])
+        ),
+        max_size=8,
+    ),
+    start=st.integers(0, 31),
+)
+def test_closure_properties(fds, start):
+    """Closure is extensive, monotone-ish, and idempotent."""
+    engine = ImplicationEngine(fds)
+    closed = engine.closure(start)
+    assert attrset.is_subset(start, closed)
+    assert engine.closure(closed) == closed
+    # naive fixpoint agrees
+    naive = start
+    changed = True
+    while changed:
+        changed = False
+        for fd in fds:
+            if attrset.is_subset(fd.lhs, naive) and fd.rhs & ~naive:
+                naive |= fd.rhs
+                changed = True
+    assert closed == naive

@@ -1,0 +1,146 @@
+"""Unit tests for synergized and classical FD induction (Algorithm 2)."""
+
+from __future__ import annotations
+
+from repro.fdtree.classic import ClassicFDTree
+from repro.fdtree.extended import ExtendedFDTree
+from repro.fdtree.induction import (
+    classic_induct,
+    non_redundant_non_fds,
+    sort_non_fds,
+    synergized_induct,
+)
+from repro.relational import attrset
+from repro.relational.fd import FD, normalize_singleton_cover
+
+
+def A(*attrs):
+    return attrset.from_attrs(attrs)
+
+
+class TestSynergizedInduction:
+    def test_paper_example3(self):
+        """AC -> E and AC -> BE under non-FD AC !-> BDE (R = A..E)."""
+        # attrs: A=0, B=1, C=2, D=3, E=4
+        tree = ExtendedFDTree(5)
+        tree.add_fd(A(0, 2), A(1, 4))  # merges AC->E and AC->BE
+        synergized_induct(tree, A(0, 2), A(1, 3, 4))
+        result = set(tree.iter_fds())
+        # Candidates from the paper: ABC->E, ACD->E / ACD->BE, ACE->B.
+        expected = {
+            FD(A(0, 1, 2), A(4)),
+            FD(A(0, 2, 3), A(1, 4)),
+            FD(A(0, 2, 4), A(1)),
+        }
+        assert result == expected
+
+    def test_removes_subset_fds(self):
+        tree = ExtendedFDTree(4)
+        tree.add_fd(A(0), A(2))
+        synergized_induct(tree, A(0, 1), A(2))
+        for fd in tree.iter_fds():
+            assert not (attrset.is_subset(fd.lhs, A(0, 1)) and fd.rhs & A(2))
+
+    def test_keeps_unrelated_fds(self):
+        tree = ExtendedFDTree(4)
+        tree.add_fd(A(3), A(2))
+        synergized_induct(tree, A(0, 1), A(2))
+        assert FD(A(3), A(2)) in set(tree.iter_fds())
+
+    def test_trivial_rhs_filtered(self):
+        tree = ExtendedFDTree(4)
+        tree.add_fd(A(0), A(1))
+        # rhs overlapping the lhs must be ignored gracefully
+        synergized_induct(tree, A(0), A(0, 1))
+        assert FD(A(0), A(1)) not in set(tree.iter_fds())
+
+    def test_no_redundant_specializations(self):
+        tree = ExtendedFDTree(4)
+        tree.add_fd(A(0), A(3))
+        tree.add_fd(A(1), A(3))
+        # kill 0 -> 3; specialization 01 -> 3 is implied by 1 -> 3
+        synergized_induct(tree, A(0), A(3))
+        fds = set(tree.iter_fds())
+        assert FD(A(0, 1), A(3)) not in fds
+        assert FD(A(1), A(3)) in fds
+        assert FD(A(0, 2), A(3)) in fds
+
+    def test_fd_count_consistent(self):
+        tree = ExtendedFDTree(5)
+        tree.add_fd(attrset.EMPTY, A(0, 1, 2, 3, 4))
+        synergized_induct(tree, A(0, 1), A(2, 3, 4))
+        assert tree.fd_count == sum(
+            attrset.count(fd.rhs) for fd in tree.iter_fds()
+        )
+
+    def test_dead_paths_pruned(self):
+        tree = ExtendedFDTree(5)
+        tree.add_fd(A(0, 1, 2), A(3))
+        synergized_induct(tree, A(0, 1, 2, 4), A(3))
+        # every surviving node must lead to an FD-node
+        def subtree_has_fd(node):
+            if node.rhs:
+                return True
+            return any(subtree_has_fd(c) for c in node.children.values())
+
+        for child in tree.root.children.values():
+            assert subtree_has_fd(child)
+
+
+class TestClassicInduction:
+    def test_matches_synergized_result(self):
+        """Both induction styles converge to the same minimal cover."""
+        non_fds = [
+            (A(0, 1), A(2, 3)),
+            (A(2), A(0, 3)),
+            (A(1, 3), A(0, 2)),
+        ]
+        classic = ClassicFDTree(4)
+        for attr in range(4):
+            classic.add_fd(attrset.EMPTY, attr)
+        extended = ExtendedFDTree(4)
+        extended.add_fd(attrset.EMPTY, A(0, 1, 2, 3))
+        for lhs, rhs in sort_non_fds(non_fds):
+            classic_induct(classic, lhs, rhs)
+            synergized_induct(extended, lhs, rhs)
+        assert normalize_singleton_cover(classic.iter_fds()) == (
+            normalize_singleton_cover(extended.iter_fds())
+        )
+
+    def test_single_attr(self):
+        tree = ClassicFDTree(3)
+        tree.add_fd(attrset.EMPTY, 2)
+        classic_induct(tree, A(0), A(2))
+        assert normalize_singleton_cover(tree.iter_fds()) == (
+            normalize_singleton_cover([FD(A(1), A(2))])
+        )
+
+
+class TestNonFdHelpers:
+    def test_sort_descending(self):
+        pairs = [(A(0), A(1, 2)), (A(0, 1, 2), A(3)), (A(1, 2), A(0))]
+        ordered = sort_non_fds(pairs)
+        sizes = [attrset.count(lhs) for lhs, _ in ordered]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_sort_deterministic(self):
+        pairs = [(A(1), A(0)), (A(0), A(1))]
+        assert sort_non_fds(pairs) == sort_non_fds(list(reversed(pairs)))
+
+    def test_non_redundant_drops_dominated(self):
+        # over R = {0..3}: X = {0} is dominated by X' = {0,1} for every
+        # RHS attr outside {0,1}; attr 1 stays only with {0}.
+        pairs = [(A(0), A(1, 2, 3)), (A(0, 1), A(2, 3))]
+        reduced = dict(non_redundant_non_fds(pairs))
+        assert reduced[A(0, 1)] == A(2, 3)
+        assert reduced[A(0)] == A(1)
+
+    def test_non_redundant_keeps_incomparable(self):
+        pairs = [(A(0), A(1, 2)), (A(1), A(0, 2))]
+        reduced = non_redundant_non_fds(pairs)
+        assert len(reduced) == 2
+
+    def test_non_redundant_drops_fully_covered(self):
+        pairs = [(A(0), A(2)), (A(0, 1), A(2, 3))]
+        reduced = dict(non_redundant_non_fds(pairs))
+        assert A(0) not in reduced

@@ -1,0 +1,103 @@
+"""End-to-end integration tests across modules on benchmark replicas."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import DHyFD, HyFD, make_algorithm
+from repro.covers.canonical import canonical_cover, compare_covers
+from repro.covers.implication import equivalent
+from repro.datasets.benchmarks import load_benchmark
+from repro.datasets.engineered import expected_fds
+from repro.profiling import profile
+from repro.ranking.ranker import rank_cover
+from repro.ranking.redundancy import dataset_redundancy
+from repro.relational import attrset
+
+
+def fd_tuples(fds):
+    return {(tuple(attrset.to_list(f.lhs)), attrset.to_list(f.rhs)[0]) for f in fds}
+
+
+class TestEngineeredReplicasEndToEnd:
+    """Replicas built with engineered_relation have known ground truth."""
+
+    def test_weather_structure(self):
+        rel = load_benchmark("weather", n_rows=500)
+        got = fd_tuples(DHyFD().discover(rel).fds)
+        want = set(
+            expected_fds(
+                18,
+                [[0, 1]],
+                [([2, 3], 4), ([5, 6, 7], 8), ([9, 10], 11), ([12, 13, 14], 15)],
+            )
+        )
+        assert got == want
+
+    def test_pdbx_structure(self):
+        rel = load_benchmark("pdbx", n_rows=800)
+        got = fd_tuples(DHyFD().discover(rel).fds)
+        want = set(expected_fds(13, [[0], [1]], [([2, 3], 4)]))
+        assert got == want
+
+    def test_lineitem_hyfd_agrees(self):
+        rel = load_benchmark("lineitem", n_rows=500)
+        assert HyFD().discover(rel).fds == DHyFD().discover(rel).fds
+
+
+class TestCrossModuleFlows:
+    def test_profile_ncvoter(self):
+        rel = load_benchmark("ncvoter", n_rows=300)
+        outcome = profile(rel)
+        assert outcome.discovery.fd_count > 50
+        assert len(outcome.canonical) < outcome.discovery.fd_count
+        assert equivalent(outcome.left_reduced, outcome.canonical)
+        assert outcome.redundancy is not None
+        assert outcome.redundancy.red_including_null >= rel.n_rows  # σ1 alone
+
+    def test_constant_state_is_top_ranked(self):
+        rel = load_benchmark("ncvoter", n_rows=300)
+        result = profile(rel)
+        assert result.ranking is not None
+        top = result.ranking.ranked[0]
+        state = rel.schema.index_of("state")
+        assert top.fd.lhs == attrset.EMPTY
+        assert attrset.contains(top.fd.rhs, state)
+        # the canonical cover merges all constant columns into one FD,
+        # so the count is n_rows per constant column
+        assert top.redundancy == rel.n_rows * top.fd.rhs_size
+
+    def test_covers_and_redundancy_on_bridges(self):
+        rel = load_benchmark("bridges")
+        discovered = make_algorithm("dhyfd").discover(rel)
+        cover, comparison = compare_covers(discovered.fds)
+        assert comparison.canonical_count <= comparison.left_reduced_count
+        report = dataset_redundancy(rel, cover)
+        assert 0 <= report.red_including_null <= report.n_values
+        ranking = rank_cover(rel, cover)
+        assert len(ranking.ranked) == len(cover)
+
+    def test_canonical_cover_transitivity_reduction(self):
+        """Two keys: key1 -> key2 plus key2 -> rest makes key1's other
+        FDs redundant, so the canonical cover shrinks a lot."""
+        rel = load_benchmark("pdbx", n_rows=600)
+        discovered = DHyFD().discover(rel).fds
+        cover = canonical_cover(discovered)
+        assert len(cover) < len(discovered)
+        assert equivalent(discovered, cover)
+
+    @pytest.mark.parametrize("name", ["hepatitis", "horse"])
+    def test_fd_rich_replicas_run(self, name):
+        rel = load_benchmark(name, n_rows=24)
+        fds = make_algorithm("fdep2").discover(rel).fds
+        assert len(fds) > 100  # the explosion regime is present
+
+    def test_fragment_monotone_fds(self):
+        """FDs valid on a relation stay valid on row fragments."""
+        from repro.core.validation import check_fd
+
+        rel = load_benchmark("abalone", n_rows=400)
+        fds = DHyFD().discover(rel).fds
+        fragment = rel.head(100)
+        for fd in list(fds)[:50]:
+            assert check_fd(fragment, fd.lhs, fd.rhs)

@@ -1,0 +1,91 @@
+"""Unit tests for CSV I/O."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.relational.io import read_csv, read_csv_text, to_csv_text, write_csv
+from repro.relational.null import NULL, NullSemantics
+
+CSV = """name,zip,city
+ann,z1,c1
+bob,,c1
+cat,z2,?
+"""
+
+
+class TestReadCsvText:
+    def test_basic(self):
+        rel = read_csv_text(CSV)
+        assert rel.schema.names == ["name", "zip", "city"]
+        assert rel.n_rows == 3
+        assert rel.value(0, 0) == "ann"
+
+    def test_default_null_markers(self):
+        rel = read_csv_text(CSV)
+        assert rel.value(1, 1) is NULL
+        assert rel.value(2, 2) is NULL
+
+    def test_custom_null_markers(self):
+        rel = read_csv_text(CSV, null_markers={"?"})
+        assert rel.value(1, 1) == ""  # empty no longer null
+        assert rel.value(2, 2) is NULL
+
+    def test_no_header(self):
+        rel = read_csv_text("a,b\nc,d\n", has_header=False)
+        assert rel.schema.names == ["col0", "col1"]
+        assert rel.n_rows == 2
+
+    def test_max_rows(self):
+        rel = read_csv_text(CSV, max_rows=2)
+        assert rel.n_rows == 2
+
+    def test_semantics_forwarded(self):
+        rel = read_csv_text(CSV, semantics="neq")
+        assert rel.semantics is NullSemantics.NEQ
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            read_csv_text("", has_header=False)
+
+    def test_delimiter(self):
+        rel = read_csv_text("a;b\n1;2\n", delimiter=";")
+        assert rel.schema.names == ["a", "b"]
+        assert rel.value(0, 1) == "2"
+
+
+class TestMalformedInput:
+    def test_ragged_rows_rejected(self):
+        from repro.relational.schema import SchemaError
+
+        with pytest.raises(SchemaError):
+            read_csv_text("a,b\n1,2\n3\n")
+
+    def test_header_only(self):
+        rel = read_csv_text("a,b\n")
+        assert rel.n_rows == 0
+        assert rel.schema.names == ["a", "b"]
+
+    def test_quoted_fields_with_commas(self):
+        rel = read_csv_text('a,b\n"x,y",z\n')
+        assert rel.value(0, 0) == "x,y"
+
+
+class TestRoundtrip:
+    def test_file_roundtrip(self, tmp_path):
+        rel = read_csv_text(CSV)
+        path = tmp_path / "out.csv"
+        write_csv(rel, path)
+        back = read_csv(path)
+        assert list(back.iter_rows()) == list(rel.iter_rows())
+        assert back.schema == rel.schema
+
+    def test_to_csv_text_nulls(self):
+        rel = read_csv_text(CSV)
+        text = to_csv_text(rel, null_marker="NULL")
+        assert "bob,NULL,c1" in text.replace("\r", "")
+
+    def test_text_roundtrip(self):
+        rel = read_csv_text(CSV)
+        again = read_csv_text(to_csv_text(rel))
+        assert list(again.iter_rows()) == list(rel.iter_rows())

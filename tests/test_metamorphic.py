@@ -1,0 +1,123 @@
+"""Metamorphic properties of FD discovery.
+
+These tests assert how the discovered cover must (not) change under
+semantics-preserving transformations of the input — strong sanity
+checks that need no oracle.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import DHyFD
+from repro.datasets.synthetic import random_relation
+from repro.relational import attrset
+from repro.relational.fd import FD, FDSet
+from repro.relational.relation import Relation
+
+algo = DHyFD()
+
+
+def discover(relation):
+    return algo.discover(relation).fds
+
+
+def rebuild(rows, schema=None, semantics="eq"):
+    return Relation.from_rows(rows, schema, semantics)
+
+
+@settings(deadline=None, max_examples=15)
+@given(seed=st.integers(0, 500))
+def test_duplicate_rows_change_nothing(seed):
+    rel = random_relation(25, 4, domain_sizes=3, seed=seed)
+    rows = list(rel.iter_rows())
+    duplicated = rebuild(rows + rows[:7])
+    assert discover(duplicated) == discover(rel)
+
+
+@settings(deadline=None, max_examples=15)
+@given(seed=st.integers(0, 500))
+def test_row_permutation_changes_nothing(seed):
+    rel = random_relation(25, 4, domain_sizes=3, seed=seed)
+    rows = list(rel.iter_rows())
+    random.Random(seed).shuffle(rows)
+    assert discover(rebuild(rows)) == discover(rel)
+
+
+@settings(deadline=None, max_examples=15)
+@given(seed=st.integers(0, 500))
+def test_value_renaming_changes_nothing(seed):
+    """DIIS invariance: bijectively renaming a column's values must not
+    affect which FDs hold."""
+    rel = random_relation(25, 4, domain_sizes=3, seed=seed)
+    rows = [
+        tuple(f"renamed::{value}" if col == 1 else value
+              for col, value in enumerate(row))
+        for row in rel.iter_rows()
+    ]
+    assert discover(rebuild(rows)) == discover(rel)
+
+
+@settings(deadline=None, max_examples=15)
+@given(seed=st.integers(0, 500))
+def test_adding_constant_column(seed):
+    """Appending a constant column adds exactly ∅ -> new plus nothing:
+    existing FDs keep holding and the new column determines nothing new."""
+    rel = random_relation(20, 3, domain_sizes=3, seed=seed)
+    rows = [tuple(row) + ("fixed",) for row in rel.iter_rows()]
+    extended = discover(rebuild(rows))
+    original = discover(rel)
+    assert FD(attrset.EMPTY, attrset.singleton(3)) in extended
+    # every original FD still present
+    for fd in original:
+        assert fd in extended
+    # no FD has the constant column on a (minimal) LHS
+    for fd in extended:
+        assert not attrset.contains(fd.lhs, 3)
+
+
+@settings(deadline=None, max_examples=15)
+@given(seed=st.integers(0, 500))
+def test_adding_key_column(seed):
+    """Appending a unique column adds key FDs and breaks nothing."""
+    rel = random_relation(20, 3, domain_sizes=3, seed=seed)
+    rows = [tuple(row) + (f"id{i}",) for i, row in enumerate(rel.iter_rows())]
+    extended = discover(rebuild(rows))
+    original = discover(rel)
+    for attr in range(3):
+        assert FD(attrset.singleton(3), attrset.singleton(attr)) in extended
+    for fd in original:
+        assert fd in extended
+
+
+@settings(deadline=None, max_examples=15)
+@given(seed=st.integers(0, 500))
+def test_column_projection_restriction(seed):
+    """FDs among a column subset are exactly the original FDs restricted
+    to that subset (our projection keeps duplicate rows)."""
+    rel = random_relation(25, 5, domain_sizes=3, seed=seed)
+    projected = rel.project_columns([0, 1, 2])
+    sub_fds = discover(projected)
+    full_fds = discover(rel)
+    subset_mask = attrset.from_attrs([0, 1, 2])
+    restricted = FDSet(
+        fd for fd in full_fds
+        if attrset.is_subset(fd.lhs | fd.rhs, subset_mask)
+    )
+    assert sub_fds == restricted
+
+
+@settings(deadline=None, max_examples=10)
+@given(seed=st.integers(0, 500))
+def test_row_fragment_preserves_validity(seed):
+    """Every FD of the full relation holds on any row fragment (fewer
+    rows can only remove violations)."""
+    from repro.core.validation import check_fd
+
+    rel = random_relation(30, 4, domain_sizes=3, seed=seed)
+    fragment = rel.head(12)
+    for fd in discover(rel):
+        assert check_fd(fragment, fd.lhs, fd.rhs)

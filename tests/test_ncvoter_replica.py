@@ -1,0 +1,82 @@
+"""Tests for the ncvoter replica's engineered qualitative structure."""
+
+from __future__ import annotations
+
+from repro.algorithms import DHyFD
+from repro.core.validation import check_fd
+from repro.covers.canonical import canonical_cover
+from repro.datasets.ncvoter import NCVOTER_COLUMNS, ncvoter_like
+from repro.ranking.ranker import rank_cover
+from repro.relational import attrset
+
+
+class TestShape:
+    def test_schema(self):
+        rel = ncvoter_like(100)
+        assert rel.schema.names == NCVOTER_COLUMNS
+        assert rel.n_cols == 19
+
+    def test_row_count(self):
+        assert ncvoter_like(321).n_rows == 321
+
+    def test_deterministic(self):
+        a = ncvoter_like(150, seed=4)
+        b = ncvoter_like(150, seed=4)
+        assert list(a.iter_rows()) == list(b.iter_rows())
+
+
+class TestPaperStructure:
+    def test_sigma1_constant_state(self):
+        rel = ncvoter_like(300)
+        state = rel.schema.index_of("state")
+        assert check_fd(rel, attrset.EMPTY, attrset.singleton(state))
+
+    def test_sigma4_voter_id_near_key(self):
+        """voter_id has exactly one dirty duplicate, so voter_id -> city
+        holds (the duplicate keeps the city) but voter_id -> street is
+        violated by the dirty pair."""
+        rel = ncvoter_like(300)
+        voter = rel.schema.index_of("voter_id")
+        street = rel.schema.index_of("street_address")
+        city = rel.schema.index_of("city")
+        assert check_fd(rel, attrset.singleton(voter), attrset.singleton(city))
+        assert not check_fd(
+            rel, attrset.singleton(voter), attrset.singleton(street)
+        )
+
+    def test_zip_alone_does_not_determine_city(self):
+        rel = ncvoter_like(600)
+        zip_code = rel.schema.index_of("zip_code")
+        city = rel.schema.index_of("city")
+        assert not check_fd(
+            rel, attrset.singleton(zip_code), attrset.singleton(city)
+        )
+
+    def test_null_heavy_suffix_column(self):
+        rel = ncvoter_like(400)
+        suffix = rel.schema.index_of("name_suffix")
+        null_fraction = rel.null_mask(suffix).mean()
+        assert null_fraction > 0.8
+
+    def test_precinct_determined_by_city_street(self):
+        rel = ncvoter_like(300)
+        mask = rel.schema.attr_set(["city", "street_address"])
+        precinct = rel.schema.index_of("precinct")
+        assert check_fd(rel, mask, attrset.singleton(precinct))
+
+
+class TestRankingNarrative:
+    def test_sigma4_low_rank_from_dirty_pair(self):
+        """The dirty voter-id duplicate causes exactly 2 redundant
+        occurrences for voter_id-LHS FDs — the paper's σ4 story."""
+        rel = ncvoter_like(400)
+        cover = canonical_cover(DHyFD().discover(rel).fds)
+        ranking = rank_cover(rel, cover)
+        voter = rel.schema.index_of("voter_id")
+        voter_fds = [
+            r for r in ranking.ranked
+            if r.fd.lhs == attrset.singleton(voter)
+        ]
+        assert voter_fds
+        for ranked in voter_fds:
+            assert ranked.redundancy == 2 * ranked.fd.rhs_size

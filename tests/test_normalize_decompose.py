@@ -1,0 +1,151 @@
+"""Unit tests for 3NF synthesis, BCNF decomposition, and the checks."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.normalize.decompose import (
+    Decomposition,
+    decompose_bcnf,
+    is_lossless_join,
+    preserves_dependencies,
+    synthesize_3nf,
+)
+from repro.normalize.forms import check_3nf, check_bcnf
+from repro.relational import attrset
+from repro.relational.fd import FD
+from repro.relational.schema import RelationSchema
+
+
+def A(*attrs):
+    return attrset.from_attrs(attrs)
+
+
+class TestSynthesize3NF:
+    def test_textbook_orders(self):
+        # R(order(0), cust(1), cname(2), prod(3), pname(4))
+        # order -> cust,prod ; cust -> cname ; prod -> pname
+        fds = [FD(A(0), A(1, 3)), FD(A(1), A(2)), FD(A(3), A(4))]
+        decomposition = synthesize_3nf(5, fds)
+        assert decomposition.covers_schema()
+        assert A(0, 1, 3) in decomposition.fragments
+        assert A(1, 2) in decomposition.fragments
+        assert A(3, 4) in decomposition.fragments
+
+    def test_result_fragments_are_3nf(self):
+        fds = [FD(A(0), A(1, 2)), FD(A(1), A(2))]
+        decomposition = synthesize_3nf(3, fds)
+        # each fragment, with the cover projected onto it, is 3NF; for
+        # this classic case the fragments are {0,1} and {1,2}
+        assert set(decomposition.fragments) == {A(0, 1), A(1, 2)}
+
+    def test_key_fragment_added(self):
+        # only FD: 1 -> 2; key is {0,1}; no fragment contains it
+        fds = [FD(A(1), A(2))]
+        decomposition = synthesize_3nf(3, fds)
+        assert any(
+            attrset.is_subset(A(0, 1), f) for f in decomposition.fragments
+        )
+
+    def test_no_fds(self):
+        decomposition = synthesize_3nf(3, [])
+        assert decomposition.fragments == [A(0, 1, 2)]
+
+    def test_orphan_attributes_housed(self):
+        # attr 3 appears in no FD
+        fds = [FD(A(0), A(1)), FD(A(1), A(2))]
+        decomposition = synthesize_3nf(4, fds)
+        assert decomposition.covers_schema()
+
+    def test_lossless_and_preserving(self):
+        fds = [FD(A(0), A(1, 3)), FD(A(1), A(2)), FD(A(3), A(4))]
+        decomposition = synthesize_3nf(5, fds)
+        assert is_lossless_join(5, fds, decomposition)
+        assert preserves_dependencies(fds, decomposition)
+
+    def test_format(self):
+        schema = RelationSchema(["a", "b", "c"])
+        decomposition = synthesize_3nf(3, [FD(A(0), A(1, 2))])
+        assert decomposition.format(schema) == ["a,b,c"]
+
+
+class TestDecomposeBCNF:
+    def test_classic_zip_example(self):
+        # street,city -> zip ; zip -> city (3NF but not BCNF)
+        fds = [FD(A(0, 1), A(2)), FD(A(2), A(1))]
+        decomposition = decompose_bcnf(3, fds)
+        assert decomposition.covers_schema()
+        assert A(1, 2) in decomposition.fragments  # zip -> city fragment
+        assert is_lossless_join(3, fds, decomposition)
+        # the textbook fact: this decomposition loses street,city -> zip
+        assert not preserves_dependencies(fds, decomposition)
+
+    def test_already_bcnf_untouched(self):
+        fds = [FD(A(0), A(1, 2))]
+        decomposition = decompose_bcnf(3, fds)
+        assert decomposition.fragments == [A(0, 1, 2)]
+
+    def test_chain_decomposition(self):
+        fds = [FD(A(0), A(1)), FD(A(1), A(2))]
+        decomposition = decompose_bcnf(3, fds)
+        assert decomposition.covers_schema()
+        assert is_lossless_join(3, fds, decomposition)
+        for fragment in decomposition.fragments:
+            assert attrset.count(fragment) <= 2
+
+
+class TestLosslessJoin:
+    def test_binary_lossless(self):
+        # R = {0,1,2}, 1 -> 2: split into {0,1} and {1,2} is lossless
+        fds = [FD(A(1), A(2))]
+        decomposition = Decomposition(3, [A(0, 1), A(1, 2)])
+        assert is_lossless_join(3, fds, decomposition)
+
+    def test_binary_lossy(self):
+        # no FDs: splitting on a non-key overlap is lossy
+        decomposition = Decomposition(3, [A(0, 1), A(1, 2)])
+        assert not is_lossless_join(3, [], decomposition)
+
+    def test_disjoint_fragments_lossy(self):
+        fds = [FD(A(0), A(1))]
+        decomposition = Decomposition(3, [A(0, 1), A(2)])
+        assert not is_lossless_join(3, fds, decomposition)
+
+    def test_full_schema_always_lossless(self):
+        decomposition = Decomposition(3, [A(0, 1, 2)])
+        assert is_lossless_join(3, [], decomposition)
+
+
+class TestPreservation:
+    def test_preserved(self):
+        fds = [FD(A(0), A(1)), FD(A(1), A(2))]
+        decomposition = Decomposition(3, [A(0, 1), A(1, 2)])
+        assert preserves_dependencies(fds, decomposition)
+
+    def test_transitive_preservation(self):
+        """An FD can be preserved jointly even if no fragment holds it."""
+        # 0 -> 2 is implied by 0 -> 1 and 1 -> 2 across fragments
+        fds = [FD(A(0), A(1)), FD(A(1), A(2)), FD(A(0), A(2))]
+        decomposition = Decomposition(3, [A(0, 1), A(1, 2)])
+        assert preserves_dependencies(fds, decomposition)
+
+    def test_not_preserved(self):
+        fds = [FD(A(0, 1), A(2)), FD(A(2), A(1))]
+        decomposition = Decomposition(3, [A(0, 2), A(1, 2)])
+        assert not preserves_dependencies(fds, decomposition)
+
+
+@settings(deadline=None, max_examples=20)
+@given(seed=st.integers(0, 200))
+def test_3nf_synthesis_properties_on_discovered_covers(seed):
+    """Synthesis from any discovered cover is lossless and preserving."""
+    from repro.algorithms import DHyFD
+    from repro.datasets.synthetic import random_relation
+
+    rel = random_relation(25, 5, domain_sizes=3, seed=seed)
+    fds = list(DHyFD().discover(rel).fds)
+    decomposition = synthesize_3nf(5, fds)
+    assert decomposition.covers_schema()
+    assert is_lossless_join(5, fds, decomposition)
+    assert preserves_dependencies(fds, decomposition)

@@ -1,0 +1,66 @@
+"""Unit tests for BCNF/3NF checks."""
+
+from __future__ import annotations
+
+from repro.normalize.forms import check_3nf, check_bcnf
+from repro.relational import attrset
+from repro.relational.fd import FD
+
+
+def A(*attrs):
+    return attrset.from_attrs(attrs)
+
+
+class TestBCNF:
+    def test_key_based_fds_pass(self):
+        # 0 is the key; 0 -> everything
+        fds = [FD(A(0), A(1, 2))]
+        report = check_bcnf(3, fds)
+        assert report.satisfied
+        assert report.keys == [A(0)]
+
+    def test_non_key_determinant_fails(self):
+        # 0 -> 1,2 but also 1 -> 2 with 1 not a key
+        fds = [FD(A(0), A(1, 2)), FD(A(1), A(2))]
+        report = check_bcnf(3, fds)
+        assert not report.satisfied
+        assert report.violations == [FD(A(1), A(2))]
+
+    def test_trivial_fds_ignored(self):
+        report = check_bcnf(2, [])
+        assert report.satisfied
+        assert report.keys == [A(0, 1)]
+
+    def test_all_singleton_keys(self):
+        fds = [FD(A(0), A(1)), FD(A(1), A(0))]
+        report = check_bcnf(2, fds)
+        assert report.satisfied  # both determinants are keys
+
+
+class Test3NF:
+    def test_bcnf_implies_3nf(self):
+        fds = [FD(A(0), A(1, 2))]
+        assert check_3nf(3, fds).satisfied
+
+    def test_prime_rhs_allowed(self):
+        # classic 3NF-but-not-BCNF: R(street(0), city(1), zip(2))
+        # street,city -> zip; zip -> city
+        fds = [FD(A(0, 1), A(2)), FD(A(2), A(1))]
+        bcnf = check_bcnf(3, fds)
+        third = check_3nf(3, fds)
+        assert not bcnf.satisfied
+        assert third.satisfied
+        assert set(third.keys) == {A(0, 1), A(0, 2)}
+
+    def test_nonprime_rhs_fails(self):
+        # 0 is key; 1 -> 2 where 2 is non-prime
+        fds = [FD(A(0), A(1, 2)), FD(A(1), A(2))]
+        report = check_3nf(3, fds)
+        assert not report.satisfied
+        assert report.violations == [FD(A(1), A(2))]
+
+    def test_violation_strips_prime_attrs(self):
+        # 1 -> {0, 2}: 0 is prime (the key), 2 is not
+        fds = [FD(A(0), A(1, 2, 3)), FD(A(1), A(2))]
+        report = check_3nf(4, fds)
+        assert report.violations == [FD(A(1), A(2))]

@@ -1,0 +1,107 @@
+"""Unit tests for candidate-key computation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.covers.implication import ImplicationEngine
+from repro.normalize.keys import (
+    candidate_keys,
+    is_superkey,
+    minimize_superkey,
+    prime_attributes,
+)
+from repro.relational import attrset
+from repro.relational.fd import FD
+
+
+def A(*attrs):
+    return attrset.from_attrs(attrs)
+
+
+class TestCandidateKeys:
+    def test_no_fds_whole_schema_is_key(self):
+        assert candidate_keys(3, []) == [A(0, 1, 2)]
+
+    def test_single_chain(self):
+        # 0 -> 1 -> 2: key is {0}
+        fds = [FD(A(0), A(1)), FD(A(1), A(2))]
+        assert candidate_keys(3, fds) == [A(0)]
+
+    def test_two_keys_cycle(self):
+        # 0 -> 1 and 1 -> 0 with free attr 2: keys {0,2} and {1,2}
+        fds = [FD(A(0), A(1)), FD(A(1), A(0))]
+        assert set(candidate_keys(3, fds)) == {A(0, 2), A(1, 2)}
+
+    def test_composite_key(self):
+        fds = [FD(A(0, 1), A(2)), FD(A(0, 1), A(3))]
+        assert candidate_keys(4, fds) == [A(0, 1)]
+
+    def test_textbook_many_keys(self):
+        # R(0,1,2) with 0->1, 1->2, 2->0: every singleton is a key
+        fds = [FD(A(0), A(1)), FD(A(1), A(2)), FD(A(2), A(0))]
+        assert set(candidate_keys(3, fds)) == {A(0), A(1), A(2)}
+
+    def test_keys_are_minimal_and_super(self):
+        fds = [FD(A(0), A(1, 2)), FD(A(3), A(4)), FD(A(1, 3), A(0))]
+        keys = candidate_keys(5, fds)
+        engine = ImplicationEngine(fds)
+        full = attrset.full_set(5)
+        for key in keys:
+            assert engine.closure(key) == full
+            for attr in attrset.iter_attrs(key):
+                assert engine.closure(attrset.remove(key, attr)) != full
+
+    def test_max_keys_guard(self):
+        # pairwise-equivalent attributes explode the key count
+        fds = [FD(A(i), A((i + 1) % 8)) for i in range(8)]
+        with pytest.raises(RuntimeError):
+            candidate_keys(8, fds, max_keys=2)
+
+
+class TestHelpers:
+    def test_is_superkey(self):
+        fds = [FD(A(0), A(1))]
+        assert is_superkey(A(0, 2), 3, fds)
+        assert not is_superkey(A(0), 3, fds)
+
+    def test_minimize_superkey(self):
+        fds = [FD(A(0), A(1)), FD(A(1), A(2))]
+        engine = ImplicationEngine(fds)
+        assert minimize_superkey(A(0, 1, 2), 3, engine) == A(0)
+
+    def test_prime_attributes(self):
+        fds = [FD(A(0), A(1)), FD(A(1), A(0))]
+        # keys are {0,2} and {1,2} -> all three attrs are prime
+        assert prime_attributes(3, fds) == A(0, 1, 2)
+
+    def test_prime_attributes_simple(self):
+        fds = [FD(A(0), A(1)), FD(A(0), A(2))]
+        assert prime_attributes(3, fds) == A(0)
+
+
+@settings(deadline=None, max_examples=30)
+@given(
+    fds=st.lists(
+        st.tuples(
+            st.integers(1, 31), st.integers(0, 4)
+        ).map(lambda p: FD(p[0] & ~attrset.singleton(p[1]) or attrset.singleton((p[1] + 1) % 5) , attrset.singleton(p[1]))),
+        max_size=6,
+    )
+)
+def test_keys_property(fds):
+    """Every reported key is a minimal superkey; keys pairwise incomparable."""
+    keys = candidate_keys(5, fds)
+    engine = ImplicationEngine(fds)
+    full = attrset.full_set(5)
+    assert keys
+    for key in keys:
+        assert engine.closure(key) == full
+        for attr in attrset.iter_attrs(key):
+            assert engine.closure(attrset.remove(key, attr)) != full
+    for left in keys:
+        for right in keys:
+            if left != right:
+                assert not attrset.is_subset(left, right)

@@ -1,0 +1,82 @@
+"""Unit tests for the partition cache."""
+
+from __future__ import annotations
+
+from repro.datasets.synthetic import random_relation
+from repro.partitions.cache import PartitionCache
+from repro.partitions.stripped import StrippedPartition
+from repro.relational import attrset
+
+
+class TestCache:
+    def test_seeds_singletons(self, city_relation):
+        cache = PartitionCache(city_relation)
+        assert len(cache) == city_relation.n_cols + 1  # singletons + empty
+
+    def test_get_matches_direct(self, city_relation):
+        cache = PartitionCache(city_relation)
+        mask = attrset.from_attrs([1, 2])
+        cached = cache.get(mask)
+        direct = StrippedPartition.for_attrs(city_relation, mask)
+        assert {frozenset(c) for c in cached.clusters} == {
+            frozenset(c) for c in direct.clusters
+        }
+
+    def test_hit_tracking(self, city_relation):
+        cache = PartitionCache(city_relation)
+        mask = attrset.from_attrs([1, 2])
+        cache.get(mask)
+        misses = cache.misses
+        cache.get(mask)
+        assert cache.misses == misses
+        assert cache.hits >= 1
+
+    def test_empty_set(self, city_relation):
+        cache = PartitionCache(city_relation)
+        assert cache.get(attrset.EMPTY).size == city_relation.n_rows
+
+    def test_peek(self, city_relation):
+        cache = PartitionCache(city_relation)
+        mask = attrset.from_attrs([0, 1])
+        assert cache.peek(mask) is None
+        cache.get(mask)
+        assert cache.peek(mask) is not None
+
+    def test_put(self, city_relation):
+        cache = PartitionCache(city_relation)
+        mask = attrset.from_attrs([1, 3])
+        partition = StrippedPartition.for_attrs(city_relation, mask)
+        cache.put(partition)
+        assert cache.peek(mask) is partition
+
+    def test_evict_level(self, city_relation):
+        cache = PartitionCache(city_relation)
+        mask = attrset.from_attrs([1, 2])
+        cache.get(mask)
+        cache.evict_level(2)
+        assert cache.peek(mask) is None
+        # singletons survive eviction
+        assert cache.peek(attrset.singleton(1)) is not None
+
+    def test_evict_level_protects_singletons(self, city_relation):
+        cache = PartitionCache(city_relation)
+        cache.evict_level(1)
+        assert cache.peek(attrset.singleton(0)) is not None
+
+    def test_memory_accounting(self, city_relation):
+        cache = PartitionCache(city_relation)
+        before = cache.memory_bytes()
+        cache.get(attrset.from_attrs([1, 2]))
+        assert cache.memory_bytes() >= before
+
+    def test_uses_best_subset(self):
+        rel = random_relation(50, 4, domain_sizes=3, seed=7)
+        cache = PartitionCache(rel)
+        two = attrset.from_attrs([0, 1])
+        three = attrset.from_attrs([0, 1, 2])
+        cache.get(two)
+        result = cache.get(three)
+        direct = StrippedPartition.for_attrs(rel, three)
+        assert {frozenset(c) for c in result.clusters} == {
+            frozenset(c) for c in direct.clusters
+        }

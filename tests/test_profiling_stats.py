@@ -1,0 +1,83 @@
+"""Tests for column statistics and the markdown report."""
+
+from __future__ import annotations
+
+import math
+
+from repro.profiling import (
+    column_stats,
+    markdown_report,
+    profile,
+    relation_stats,
+)
+from repro.relational.null import NULL
+from repro.relational.relation import Relation
+
+
+class TestColumnStats:
+    def test_constant_column(self, city_relation):
+        stats = column_stats(city_relation, 3)
+        assert stats.is_constant
+        assert not stats.is_unique
+        assert stats.cardinality == 1
+        assert stats.entropy_bits == 0.0
+        assert stats.top_values == (("nc", 6),)
+
+    def test_unique_column(self, city_relation):
+        stats = column_stats(city_relation, 0)
+        assert stats.is_unique
+        assert stats.distinct_fraction == 1.0
+        assert math.isclose(stats.entropy_bits, math.log2(6))
+
+    def test_null_fraction(self, null_relation):
+        stats = column_stats(null_relation, 1)
+        assert stats.null_count == 2
+        assert stats.null_fraction == 0.5
+
+    def test_top_values_sorted(self, city_relation):
+        stats = column_stats(city_relation, 2, top_k=2)
+        assert stats.top_values[0] == ("c1", 3)
+        assert stats.top_values[1] == ("c2", 2)
+
+    def test_relation_stats_covers_all_columns(self, city_relation):
+        all_stats = relation_stats(city_relation)
+        assert [s.name for s in all_stats] == city_relation.schema.names
+
+    def test_empty_relation(self):
+        rel = Relation.from_rows([("a", "b")]).project_rows([])
+        stats = column_stats(rel, 0)
+        assert stats.n_rows == 0
+        assert stats.null_fraction == 0.0
+        assert not stats.is_constant
+
+
+class TestMarkdownReport:
+    def test_sections_present(self, city_relation):
+        report = markdown_report(profile(city_relation), title="City data")
+        assert report.startswith("# City data")
+        assert "## Columns" in report
+        assert "## Functional dependencies" in report
+        assert "## FDs ranked by data redundancy" in report
+        assert "## Normalization" in report
+
+    def test_mentions_key_and_constant(self, city_relation):
+        report = markdown_report(profile(city_relation))
+        assert "unique (key)" in report
+        assert "constant" in report
+        assert "zip -> city" in report
+
+    def test_no_ranking_section_when_skipped(self, city_relation):
+        report = markdown_report(profile(city_relation, rank=False))
+        assert "ranked by data redundancy" not in report
+
+    def test_normalization_toggle(self, city_relation):
+        report = markdown_report(
+            profile(city_relation), include_normalization=False
+        )
+        assert "## Normalization" not in report
+
+    def test_null_flagging(self):
+        rows = [("a", NULL), ("b", NULL), ("c", NULL), ("d", "v")]
+        rel = Relation.from_rows(rows, ["id", "sparse"])
+        report = markdown_report(profile(rel))
+        assert "mostly null" in report

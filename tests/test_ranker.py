@@ -1,0 +1,101 @@
+"""Unit tests for the redundancy-based FD ranking."""
+
+from __future__ import annotations
+
+from repro.ranking.ranker import (
+    DEFAULT_BUCKET_FRACTIONS,
+    RankedFD,
+    rank_cover,
+    redundancy_histogram,
+)
+from repro.relational import attrset
+from repro.relational.fd import FD, FDSet
+from repro.relational.null import NULL
+from repro.relational.relation import Relation
+
+
+def A(*attrs):
+    return attrset.from_attrs(attrs)
+
+
+class TestRankCover:
+    def test_descending_order(self, city_relation):
+        cover = FDSet([FD(A(1), A(2)), FD(attrset.EMPTY, A(3)), FD(A(0), A(1))])
+        ranking = rank_cover(city_relation, cover)
+        reds = [r.redundancy for r in ranking.ranked]
+        assert reds == sorted(reds, reverse=True)
+        assert ranking.ranked[0].fd == FD(attrset.EMPTY, A(3))
+        assert ranking.max_redundancy == 6
+
+    def test_zero_redundancy_bucket(self, city_relation):
+        cover = FDSet([FD(A(0), A(1))])  # key LHS
+        ranking = rank_cover(city_relation, cover)
+        assert [r.fd for r in ranking.zero_redundancy()] == [FD(A(0), A(1))]
+        assert ranking.ranked[0].likely_key_based
+
+    def test_top(self, city_relation):
+        cover = FDSet([FD(A(1), A(2)), FD(attrset.EMPTY, A(3))])
+        ranking = rank_cover(city_relation, cover)
+        assert len(ranking.top(1)) == 1
+        assert ranking.top(10) == ranking.ranked
+
+    def test_likely_accidental_flags_null_heavy(self):
+        rows = [
+            ("a", "g", NULL),
+            ("b", "g", NULL),
+            ("c", "h", NULL),
+            ("d", "h", NULL),
+        ]
+        rel = Relation.from_rows(rows, ["id", "grp", "sfx"])
+        cover = FDSet([FD(A(1), A(2))])
+        ranking = rank_cover(rel, cover)
+        ranked = ranking.ranked[0]
+        assert ranked.redundancy == 4
+        assert ranked.redundancy_excluding_null == 0
+        assert ranked.null_fraction == 1.0
+        assert ranked.likely_accidental
+        assert ranking.likely_accidental() == [ranked]
+
+    def test_null_fraction_zero_without_nulls(self, city_relation):
+        ranking = rank_cover(city_relation, FDSet([FD(A(1), A(2))]))
+        assert ranking.ranked[0].null_fraction == 0.0
+
+    def test_format(self, city_relation):
+        ranking = rank_cover(city_relation, FDSet([FD(A(1), A(2))]))
+        text = ranking.ranked[0].format(city_relation.schema)
+        assert "zip -> city" in text
+        assert "#red+0=4" in text
+
+    def test_empty_cover(self, city_relation):
+        ranking = rank_cover(city_relation, FDSet())
+        assert ranking.ranked == []
+        assert ranking.max_redundancy == 0
+
+
+class TestHistogram:
+    def test_paper_fractions(self):
+        assert DEFAULT_BUCKET_FRACTIONS[0] == 0.0
+        assert DEFAULT_BUCKET_FRACTIONS[-1] == 1.0
+        assert len(DEFAULT_BUCKET_FRACTIONS) == 10
+
+    def test_bucket_partition(self):
+        reds = [0, 0, 1, 5, 10, 40, 100]
+        buckets = redundancy_histogram(reds)
+        assert sum(count for _, count in buckets) == len(reds)
+        assert buckets[0] == (0, 2)  # the two zero-redundancy FDs
+        assert buckets[-1][0] == 100
+
+    def test_exclusive_lower_bound(self):
+        reds = [0, 2, 3, 100]
+        buckets = redundancy_histogram(reds, fractions=[0.0, 0.03, 1.0])
+        # thresholds 0, 3, 100
+        assert buckets == [(0, 1), (3, 2), (100, 1)]
+
+    def test_empty(self):
+        buckets = redundancy_histogram([])
+        assert all(count == 0 for _, count in buckets)
+
+    def test_all_zero(self):
+        buckets = redundancy_histogram([0, 0, 0])
+        assert buckets[0] == (0, 3)
+        assert sum(c for _, c in buckets[1:]) == 0

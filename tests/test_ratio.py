@@ -1,0 +1,82 @@
+"""Unit tests for the efficiency–inefficiency ratio (paper §IV-G)."""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.ratio import DEFAULT_RATIO_THRESHOLD, LevelDecision
+
+
+def decision(**kwargs):
+    defaults = dict(
+        level=2, total_candidates=10, valid_fds=5, reusable_nodes=2, fds_above=10
+    )
+    defaults.update(kwargs)
+    return LevelDecision(**defaults)
+
+
+class TestMeasures:
+    def test_paper_example5_left_tree(self):
+        """Level 2, 1 FD-node all valid, 2 reusable nodes, 5 FDs above."""
+        d = LevelDecision(
+            level=2, total_candidates=1, valid_fds=1, reusable_nodes=2, fds_above=5
+        )
+        assert d.efficiency == 1.0
+        assert d.inefficiency == 2 / 5
+        assert d.ratio == 2.5
+
+    def test_paper_example5_right_tree(self):
+        """Level 3: 1 of 2 FDs valid, 2 reusable nodes, 3 FDs above."""
+        d = LevelDecision(
+            level=3, total_candidates=2, valid_fds=1, reusable_nodes=2, fds_above=3
+        )
+        assert d.efficiency == 0.5
+        assert d.inefficiency == 2 / 3
+        assert math.isclose(d.ratio, 0.75)
+
+    def test_zero_candidates(self):
+        d = decision(total_candidates=0, valid_fds=0)
+        assert d.efficiency == 0.0
+        assert d.ratio == 0.0
+
+    def test_nothing_above_gives_infinite_ratio(self):
+        d = decision(fds_above=0)
+        assert d.inefficiency == 0.0
+        assert d.ratio == math.inf
+
+    def test_zero_efficiency_zero_ratio(self):
+        d = decision(valid_fds=0, fds_above=0)
+        assert d.ratio == 0.0
+
+
+class TestShouldUpdate:
+    def test_never_at_level_one(self):
+        d = decision(level=1, valid_fds=10, total_candidates=10, fds_above=1,
+                     reusable_nodes=1)
+        assert not d.should_update()
+
+    def test_updates_above_threshold(self):
+        # efficiency 1.0, inefficiency 0.1 -> ratio 10 > 3
+        d = decision(valid_fds=10, total_candidates=10, reusable_nodes=1,
+                     fds_above=10)
+        assert d.should_update()
+
+    def test_no_update_below_threshold(self):
+        d = LevelDecision(
+            level=3, total_candidates=2, valid_fds=1, reusable_nodes=2, fds_above=3
+        )
+        assert not d.should_update()  # ratio 0.75 < 3
+
+    def test_no_update_without_reusables(self):
+        d = decision(reusable_nodes=0, fds_above=0, valid_fds=10)
+        assert not d.should_update()
+
+    def test_custom_threshold(self):
+        d = LevelDecision(
+            level=2, total_candidates=1, valid_fds=1, reusable_nodes=2, fds_above=5
+        )
+        assert d.should_update(threshold=2.0)  # ratio 2.5
+        assert not d.should_update(threshold=2.5)
+
+    def test_default_threshold_is_papers(self):
+        assert DEFAULT_RATIO_THRESHOLD == 3.0

@@ -1,0 +1,139 @@
+"""Unit tests for the Relation data model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.relational import attrset
+from repro.relational.null import NULL, NullSemantics
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema, SchemaError
+
+
+class TestConstruction:
+    def test_from_rows_shapes(self, city_relation):
+        assert city_relation.n_rows == 6
+        assert city_relation.n_cols == 4
+        assert city_relation.n_values == 24
+
+    def test_from_rows_anonymous_schema(self):
+        rel = Relation.from_rows([("a", "b")])
+        assert rel.schema.names == ["col0", "col1"]
+
+    def test_from_rows_list_schema(self):
+        rel = Relation.from_rows([("a",)], ["only"])
+        assert rel.schema.names == ["only"]
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation.from_rows([("a", "b"), ("c",)], ["x", "y"])
+
+    def test_from_columns(self):
+        rel = Relation.from_columns({"a": [1, 2], "b": ["x", "y"]})
+        assert rel.n_rows == 2
+        assert rel.schema.names == ["a", "b"]
+
+    def test_from_columns_length_mismatch(self):
+        with pytest.raises(SchemaError):
+            Relation.from_columns({"a": [1], "b": [1, 2]})
+
+    def test_semantics_parse_string(self):
+        rel = Relation.from_rows([("a",)], semantics="neq")
+        assert rel.semantics is NullSemantics.NEQ
+
+
+class TestAccessors:
+    def test_value_roundtrip(self, city_relation):
+        assert city_relation.value(0, 0) == "ann"
+        assert city_relation.value(3, 2) == "c2"
+
+    def test_null_value(self, null_relation):
+        assert null_relation.value(0, 1) is NULL
+
+    def test_row_values(self, city_relation):
+        assert city_relation.row_values(5) == ("fay", "z4", "c3", "nc")
+
+    def test_iter_rows(self, city_relation):
+        rows = list(city_relation.iter_rows())
+        assert len(rows) == 6
+        assert rows[0] == ("ann", "z1", "c1", "nc")
+
+    def test_matrix_shape_and_consistency(self, city_relation):
+        matrix = city_relation.matrix()
+        assert matrix.shape == (6, 4)
+        # constant column -> single code
+        assert len(set(matrix[:, 3].tolist())) == 1
+
+    def test_null_count(self, null_relation):
+        assert null_relation.null_count() == 2
+
+    def test_len(self, city_relation):
+        assert len(city_relation) == 6
+
+    def test_cardinality(self, city_relation):
+        assert city_relation.cardinality(0) == 6  # names unique
+        assert city_relation.cardinality(3) == 1  # constant
+
+
+class TestAgreeSets:
+    def test_agree_set(self, city_relation):
+        # ann/bob share zip, city, state but not name
+        mask = city_relation.agree_set(0, 1)
+        assert attrset.to_list(mask) == [1, 2, 3]
+
+    def test_agree_set_disjoint_rows(self, city_relation):
+        # ann vs dan agree only on state
+        assert attrset.to_list(city_relation.agree_set(0, 3)) == [3]
+
+    def test_agree_set_null_eq(self, null_relation):
+        # rows 0 and 1: maybe both NULL (equal under EQ), tag equal
+        mask = null_relation.agree_set(0, 1)
+        assert attrset.to_list(mask) == [1, 2]
+
+    def test_agree_set_null_neq(self, null_relation):
+        rel = null_relation.with_semantics("neq")
+        mask = rel.agree_set(0, 1)
+        assert attrset.to_list(mask) == [2]
+
+
+class TestFragments:
+    def test_project_rows(self, city_relation):
+        frag = city_relation.project_rows([0, 1, 2])
+        assert frag.n_rows == 3
+        assert frag.row_values(2) == ("cat", "z2", "c1", "nc")
+
+    def test_project_rows_reencodes_densely(self, city_relation):
+        frag = city_relation.project_rows([4, 5])
+        for attr in range(frag.n_cols):
+            codes = frag.codes(attr)
+            assert codes.max() < frag.cardinality(attr)
+
+    def test_head(self, city_relation):
+        assert city_relation.head(2).n_rows == 2
+        assert city_relation.head(100).n_rows == 6
+
+    def test_project_columns(self, city_relation):
+        frag = city_relation.project_columns(["city", "zip"])
+        assert frag.schema.names == ["city", "zip"]
+        assert frag.row_values(0) == ("c1", "z1")
+
+    def test_project_rows_preserves_nulls(self, null_relation):
+        frag = null_relation.project_rows([0, 2])
+        assert frag.value(0, 1) is NULL
+        assert frag.value(1, 1) == "v"
+
+
+class TestSemanticsConversion:
+    def test_with_semantics_identity(self, null_relation):
+        assert null_relation.with_semantics("eq") is null_relation
+
+    def test_with_semantics_changes_codes(self, null_relation):
+        neq = null_relation.with_semantics("neq")
+        assert neq.codes(1)[0] != neq.codes(1)[1]
+        # values survive the round trip
+        assert list(neq.iter_rows()) == list(null_relation.iter_rows())
+
+    def test_with_semantics_back(self, null_relation):
+        back = null_relation.with_semantics("neq").with_semantics("eq")
+        assert list(back.iter_rows()) == list(null_relation.iter_rows())
+        assert back.codes(1)[0] == back.codes(1)[1]

@@ -1,0 +1,79 @@
+"""Unit tests for the column-determinant report (paper §VI-B)."""
+
+from __future__ import annotations
+
+from repro.ranking.report import column_determinants
+from repro.relational import attrset
+from repro.relational.fd import FD, FDSet
+from repro.relational.null import NULL
+from repro.relational.relation import Relation
+
+
+def A(*attrs):
+    return attrset.from_attrs(attrs)
+
+
+def make_relation():
+    rows = [
+        ("ann", "z1", "c1", NULL),
+        ("bob", "z1", "c1", "s1"),
+        ("cat", NULL, "c2", "s1"),
+        ("dan", NULL, "c2", "s2"),
+    ]
+    return Relation.from_rows(rows, ["name", "zip", "city", "suffix"])
+
+
+class TestColumnDeterminants:
+    def test_filters_to_target_column(self, city_relation):
+        cover = FDSet([FD(A(1), A(2)), FD(A(0), A(1))])
+        rows = column_determinants(city_relation, cover, "city")
+        assert len(rows) == 1
+        assert rows[0].lhs == A(1)
+
+    def test_counts(self, city_relation):
+        cover = FDSet([FD(A(1), A(2))])
+        rows = column_determinants(city_relation, cover, "city")
+        assert rows[0].red == 4
+        assert rows[0].red_null_free == 4
+
+    def test_null_free_column_counts(self):
+        rel = make_relation()
+        cover = FDSet([FD(A(1), A(2))])
+        rows = column_determinants(rel, cover, "city")
+        # zip clusters: {ann,bob} (z1) and {cat,dan} (NULL=NULL) -> red 4
+        assert rows[0].red == 4
+        # null-free drops the NULL-zip cluster entirely -> 2
+        assert rows[0].red_null_free == 2
+
+    def test_null_target_values_excluded(self):
+        rel = make_relation()
+        cover = FDSet([FD(A(2), A(3))])  # city -> suffix (violated? c2: s1,s2)
+        # use city -> name? name unique. Use zip -> suffix instead: z1 rows
+        cover = FDSet([FD(A(1), A(3))])
+        rows = column_determinants(rel, cover, "suffix")
+        # red: all 4 rows sit in clusters of π_zip
+        assert rows[0].red == 4
+        # null-free: drop the NULL-zip cluster and ann's NULL suffix -> 1
+        assert rows[0].red_null_free == 1
+
+    def test_multi_rhs_fd_matches_target(self, city_relation):
+        cover = FDSet([FD(A(1), A(2, 3))])
+        rows = column_determinants(city_relation, cover, "state")
+        assert len(rows) == 1
+
+    def test_sorted_by_red_desc(self, city_relation):
+        cover = FDSet([FD(A(1), A(2)), FD(attrset.EMPTY, A(2))])
+        # ∅ -> city is not valid but the report does not re-validate;
+        # counting still works on any provided cover
+        rows = column_determinants(city_relation, cover, "city")
+        assert rows[0].red >= rows[1].red
+
+    def test_format(self, city_relation):
+        cover = FDSet([FD(A(1), A(2))])
+        rows = column_determinants(city_relation, cover, "city")
+        text = rows[0].format(city_relation)
+        assert "zip" in text and "#red=4" in text
+
+    def test_empty_result(self, city_relation):
+        rows = column_determinants(city_relation, FDSet(), "city")
+        assert rows == []

@@ -1,0 +1,77 @@
+"""Small-surface tests: DiscoveryResult, Deadline, misc reprs."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.base import Deadline, TimeLimitExceeded
+from repro.core.result import DiscoveryResult, DiscoveryStats
+from repro.relational.fd import FD, FDSet
+from repro.relational.schema import RelationSchema
+
+
+class TestDiscoveryResult:
+    def make(self):
+        schema = RelationSchema(["a", "b", "c"])
+        fds = FDSet([FD.of(["a"], "b", schema), FD.of(["a", "c"], "b", schema)])
+        return DiscoveryResult(
+            algorithm="test", schema=schema, fds=fds, elapsed_seconds=0.5
+        )
+
+    def test_counts(self):
+        result = self.make()
+        assert result.fd_count == 2
+        assert result.attribute_occurrences == 2 + 3
+
+    def test_format_fds_uses_names(self):
+        result = self.make()
+        formatted = result.format_fds()
+        assert "a -> b" in formatted
+        assert "a,c -> b" in formatted
+
+    def test_repr(self):
+        assert "test" in repr(self.make())
+        assert "2 FDs" in repr(self.make())
+
+    def test_default_stats(self):
+        result = self.make()
+        assert isinstance(result.stats, DiscoveryStats)
+        assert result.stats.validations == 0
+
+
+class TestDeadline:
+    def test_none_never_raises(self):
+        deadline = Deadline(None, "x")
+        deadline.check()
+
+    def test_expired_raises(self):
+        deadline = Deadline(0.0, "algo")
+        time.sleep(0.01)
+        with pytest.raises(TimeLimitExceeded) as excinfo:
+            deadline.check()
+        assert excinfo.value.algorithm == "algo"
+
+    def test_future_does_not_raise(self):
+        Deadline(60.0, "x").check()
+
+
+class TestReprs:
+    def test_relation_repr(self, city_relation):
+        assert "6 rows x 4 cols" in repr(city_relation)
+
+    def test_partition_repr(self, city_relation):
+        from repro.partitions.stripped import StrippedPartition
+
+        partition = StrippedPartition.for_attribute(city_relation, 1)
+        text = repr(partition)
+        assert "|π|=2" in text
+
+    def test_fdset_repr(self):
+        assert "2 FDs" in repr(FDSet([FD.of([0], 1), FD.of([1], 2)]))
+
+    def test_algorithm_repr(self):
+        from repro.algorithms import TANE
+
+        assert "TANE" in repr(TANE())

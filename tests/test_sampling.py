@@ -1,0 +1,97 @@
+"""Unit tests for sorted-neighborhood non-FD sampling."""
+
+from __future__ import annotations
+
+from repro.core.sampling import AgreeSetSampler, all_agree_sets, initial_sample
+from repro.datasets.synthetic import random_relation
+from repro.partitions.stripped import StrippedPartition
+from repro.relational import attrset
+
+
+def singletons(relation):
+    return [
+        StrippedPartition.for_attribute(relation, attr)
+        for attr in range(relation.n_cols)
+    ]
+
+
+class TestAllAgreeSets:
+    def test_exact_pairs(self, city_relation):
+        agree_sets = all_agree_sets(city_relation)
+        # ann/bob agree on zip, city, state
+        assert attrset.from_attrs([1, 2, 3]) in agree_sets
+        # full-schema agreement is impossible here (all rows distinct)
+        assert city_relation.schema.all_attrs() not in agree_sets
+
+    def test_every_set_is_true_agree_set(self, city_relation):
+        matrix = city_relation.matrix()
+        for agree in all_agree_sets(city_relation):
+            witnessed = False
+            for i in range(city_relation.n_rows):
+                for j in range(i + 1, city_relation.n_rows):
+                    mask = attrset.EMPTY
+                    for col in range(city_relation.n_cols):
+                        if matrix[i][col] == matrix[j][col]:
+                            mask = attrset.add(mask, col)
+                    if mask == agree:
+                        witnessed = True
+            assert witnessed
+
+    def test_duplicates_excluded(self, duplicate_relation):
+        # identical rows produce the trivial full agree set -> dropped
+        agree_sets = all_agree_sets(duplicate_relation)
+        assert duplicate_relation.schema.all_attrs() not in agree_sets
+
+
+class TestSampler:
+    def test_sampled_subset_of_exact(self, city_relation):
+        sampler = AgreeSetSampler(city_relation, singletons(city_relation))
+        sampled, stats = sampler.sample_round()
+        exact = all_agree_sets(city_relation)
+        assert sampled <= exact
+        assert stats.comparisons > 0
+        assert stats.new_agree_sets == len(sampled)
+
+    def test_rounds_eventually_exhaust(self):
+        rel = random_relation(20, 3, domain_sizes=2, seed=3)
+        sampler = AgreeSetSampler(rel, singletons(rel))
+        rounds = 0
+        while not sampler.exhausted() and rounds < 100:
+            sampler.sample_round()
+            rounds += 1
+        assert sampler.exhausted()
+
+    def test_exhausted_sampler_finds_everything_within_clusters(self):
+        """After exhaustion every within-cluster pair has been compared."""
+        rel = random_relation(25, 4, domain_sizes=2, seed=5)
+        sampler = AgreeSetSampler(rel, singletons(rel))
+        while not sampler.exhausted():
+            sampler.sample_round()
+        # any two rows sharing a value sit in one cluster, so every
+        # non-empty agree set must have been seen; pairs disagreeing
+        # everywhere (agree set ∅) share no cluster and stay invisible
+        expected = {s for s in all_agree_sets(rel) if s != attrset.EMPTY}
+        assert sampler.seen == expected
+
+    def test_rounds_only_report_new(self, city_relation):
+        sampler = AgreeSetSampler(city_relation, singletons(city_relation))
+        first, _ = sampler.sample_round()
+        second, _ = sampler.sample_round()
+        assert not (first & second)
+
+    def test_efficiency_metric(self, city_relation):
+        sampler = AgreeSetSampler(city_relation, singletons(city_relation))
+        _, stats = sampler.sample_round()
+        assert 0.0 <= stats.efficiency <= 1.0
+
+
+class TestInitialSample:
+    def test_matches_one_round(self, city_relation):
+        direct = initial_sample(city_relation, singletons(city_relation))
+        sampler = AgreeSetSampler(city_relation, singletons(city_relation))
+        round_sets, _ = sampler.sample_round()
+        assert direct == round_sets
+
+    def test_empty_relation_fragment(self):
+        rel = random_relation(1, 3, domain_sizes=2, seed=0)
+        assert initial_sample(rel, singletons(rel)) == set()

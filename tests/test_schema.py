@@ -1,0 +1,102 @@
+"""Unit tests for relation schemas."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.relational import attrset
+from repro.relational.schema import RelationSchema, SchemaError
+
+
+class TestConstruction:
+    def test_basic(self):
+        schema = RelationSchema(["a", "b"])
+        assert len(schema) == 2
+        assert schema.names == ["a", "b"]
+
+    def test_of_width(self):
+        schema = RelationSchema.of_width(3)
+        assert schema.names == ["col0", "col1", "col2"]
+
+    def test_of_width_custom_prefix(self):
+        schema = RelationSchema.of_width(2, prefix="x")
+        assert schema.names == ["x0", "x1"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema([])
+        with pytest.raises(SchemaError):
+            RelationSchema.of_width(0)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema(["a", "a"])
+
+    def test_bad_names_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema(["a", ""])
+        with pytest.raises(SchemaError):
+            RelationSchema(["a", 3])  # type: ignore[list-item]
+
+
+class TestLookup:
+    def test_name_index_roundtrip(self):
+        schema = RelationSchema(["x", "y", "z"])
+        for i, name in enumerate(["x", "y", "z"]):
+            assert schema.index_of(name) == i
+            assert schema.name_of(i) == name
+
+    def test_unknown_name(self):
+        schema = RelationSchema(["x"])
+        with pytest.raises(SchemaError):
+            schema.index_of("nope")
+
+    def test_index_out_of_range(self):
+        schema = RelationSchema(["x"])
+        with pytest.raises(SchemaError):
+            schema.name_of(5)
+
+    def test_resolve(self):
+        schema = RelationSchema(["x", "y"])
+        assert schema.resolve("y") == 1
+        assert schema.resolve(0) == 0
+        with pytest.raises(SchemaError):
+            schema.resolve(2)
+        with pytest.raises(SchemaError):
+            schema.resolve(1.5)  # type: ignore[arg-type]
+
+    def test_contains(self):
+        schema = RelationSchema(["x", "y"])
+        assert "x" in schema
+        assert "q" not in schema
+
+
+class TestAttrSets:
+    def test_attr_set_mixed_references(self):
+        schema = RelationSchema(["a", "b", "c"])
+        mask = schema.attr_set(["a", 2])
+        assert attrset.to_list(mask) == [0, 2]
+
+    def test_all_attrs(self):
+        schema = RelationSchema(["a", "b"])
+        assert schema.all_attrs() == 0b11
+
+    def test_format_attr_set(self):
+        schema = RelationSchema(["a", "b", "c"])
+        assert schema.format_attr_set(0b101) == "a,c"
+        assert schema.format_attr_set(0) == "∅"
+
+
+class TestMisc:
+    def test_equality_and_hash(self):
+        assert RelationSchema(["a"]) == RelationSchema(["a"])
+        assert RelationSchema(["a"]) != RelationSchema(["b"])
+        assert hash(RelationSchema(["a", "b"])) == hash(RelationSchema(["a", "b"]))
+
+    def test_project(self):
+        schema = RelationSchema(["a", "b", "c"])
+        projected = schema.project(["c", 0])
+        assert projected.names == ["c", "a"]
+
+    def test_iteration(self):
+        assert list(RelationSchema(["p", "q"])) == ["p", "q"]

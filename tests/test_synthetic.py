@@ -1,0 +1,128 @@
+"""Unit tests for the generic synthetic generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.validation import check_fd
+from repro.datasets.synthetic import (
+    constant_column_relation,
+    duplicate_template_relation,
+    fd_reduced_relation,
+    fd_rich_relation,
+    planted_fd_relation,
+    random_relation,
+    zipf_relation,
+)
+from repro.relational import attrset
+from repro.relational.null import NullSemantics
+
+
+class TestRandomRelation:
+    def test_shape(self):
+        rel = random_relation(20, 4, seed=0)
+        assert rel.n_rows == 20
+        assert rel.n_cols == 4
+
+    def test_deterministic(self):
+        a = random_relation(15, 3, seed=42)
+        b = random_relation(15, 3, seed=42)
+        assert list(a.iter_rows()) == list(b.iter_rows())
+
+    def test_seed_changes_output(self):
+        a = random_relation(15, 3, seed=1)
+        b = random_relation(15, 3, seed=2)
+        assert list(a.iter_rows()) != list(b.iter_rows())
+
+    def test_domain_bound(self):
+        rel = random_relation(50, 2, domain_sizes=3, seed=0)
+        assert rel.cardinality(0) <= 3
+
+    def test_per_column_domains(self):
+        rel = random_relation(60, 2, domain_sizes=[2, 30], seed=0)
+        assert rel.cardinality(0) <= 2
+        assert rel.cardinality(1) > 2
+
+    def test_wrong_domain_count_rejected(self):
+        with pytest.raises(ValueError):
+            random_relation(10, 3, domain_sizes=[2, 2])
+
+    def test_null_rate(self):
+        rel = random_relation(100, 3, null_rate=0.5, seed=0)
+        assert 50 < rel.null_count() < 250
+
+    def test_semantics(self):
+        rel = random_relation(10, 2, semantics="neq", seed=0)
+        assert rel.semantics is NullSemantics.NEQ
+
+
+class TestPlantedFdRelation:
+    def test_planted_fds_hold(self):
+        rel = planted_fd_relation(80, 5, [([0, 1], 2), ([3], 4)], seed=1)
+        assert check_fd(rel, attrset.from_attrs([0, 1]), attrset.singleton(2))
+        assert check_fd(rel, attrset.singleton(3), attrset.singleton(4))
+
+    def test_noise_breaks_fd(self):
+        rel = planted_fd_relation(
+            200, 3, [([0], 1)], noise_rate=0.5, base_domain=4, seed=1
+        )
+        assert not check_fd(rel, attrset.singleton(0), attrset.singleton(1))
+
+    def test_double_derivation_rejected(self):
+        with pytest.raises(ValueError):
+            planted_fd_relation(10, 4, [([0], 2), ([1], 2)])
+
+    def test_self_derivation_rejected(self):
+        with pytest.raises(ValueError):
+            planted_fd_relation(10, 4, [([0, 2], 2)])
+
+    def test_deterministic(self):
+        a = planted_fd_relation(30, 4, [([0], 1)], seed=9)
+        b = planted_fd_relation(30, 4, [([0], 1)], seed=9)
+        assert list(a.iter_rows()) == list(b.iter_rows())
+
+
+class TestFdReducedRelation:
+    def test_planted_lhs_size(self):
+        rel = fd_reduced_relation(150, n_cols=12, n_planted=4, lhs_size=3, seed=0)
+        assert rel.n_cols == 12
+        # derived columns are the last n_planted ones; each has a valid
+        # 3-attribute determinant among the base columns
+        from repro.algorithms import DHyFD
+
+        fds = DHyFD().discover(rel).fds
+        for rhs in range(8, 12):
+            hits = [
+                fd for fd in fds
+                if attrset.to_list(fd.rhs) == [rhs] and fd.lhs_size <= 3
+            ]
+            assert hits, f"no small-LHS FD found for derived column {rhs}"
+
+    def test_too_few_base_columns_rejected(self):
+        with pytest.raises(ValueError):
+            fd_reduced_relation(50, n_cols=5, n_planted=4, lhs_size=3)
+
+
+class TestOtherGenerators:
+    def test_fd_rich_small_domains(self):
+        rel = fd_rich_relation(30, 6, domain_size=2, seed=0)
+        assert all(rel.cardinality(c) <= 2 for c in range(6))
+
+    def test_zipf_skew(self):
+        rel = zipf_relation(300, 2, [10, 10], skew=2.0, seed=0)
+        codes = rel.codes(0)
+        import numpy as np
+
+        counts = np.bincount(codes)
+        assert counts.max() > 2 * counts.mean()
+
+    def test_constant_columns(self):
+        rel = constant_column_relation(20, 4, [0, 2], seed=0)
+        assert rel.cardinality(0) == 1
+        assert rel.cardinality(2) == 1
+        assert rel.cardinality(1) > 1
+
+    def test_duplicate_templates(self):
+        rel = duplicate_template_relation(50, 4, 3, mutation_rate=0.0, seed=0)
+        distinct = {tuple(row) for row in rel.iter_rows()}
+        assert len(distinct) <= 3

@@ -1,0 +1,95 @@
+"""Tests for UCC (minimal key) discovery."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import DHyFD
+from repro.datasets.synthetic import random_relation
+from repro.normalize.keys import candidate_keys
+from repro.partitions.stripped import StrippedPartition
+from repro.relational import attrset
+from repro.relational.relation import Relation
+from repro.ucc import discover_uccs
+
+
+def brute_force_uccs(relation):
+    """Exhaustive minimal-unique search for small schemas."""
+    n = relation.n_cols
+    uniques = []
+    for mask in sorted(
+        attrset.iter_subsets(attrset.full_set(n)), key=attrset.count
+    ):
+        partition = StrippedPartition.for_attrs(relation, mask)
+        if partition.is_key():
+            if not any(attrset.is_subset(u, mask) for u in uniques):
+                uniques.append(mask)
+    return sorted(uniques)
+
+
+class TestBasics:
+    def test_city_relation(self, city_relation):
+        result = discover_uccs(city_relation)
+        # name is unique; no other singleton is; every other minimal UCC
+        # must avoid containing name
+        assert attrset.singleton(0) in result.uccs
+        for ucc in result.uccs:
+            assert ucc == attrset.singleton(0) or not attrset.contains(ucc, 0)
+        assert result.uccs == brute_force_uccs(city_relation)
+
+    def test_duplicate_rows_mean_no_uccs(self, duplicate_relation):
+        result = discover_uccs(duplicate_relation)
+        assert result.uccs == []
+
+    def test_single_row(self):
+        rel = Relation.from_rows([("a", "b")])
+        assert discover_uccs(rel).uccs == [attrset.EMPTY]
+
+    def test_composite_key_only(self):
+        rows = [("a", "x"), ("a", "y"), ("b", "x"), ("b", "y")]
+        rel = Relation.from_rows(rows, ["l", "r"])
+        result = discover_uccs(rel)
+        assert result.uccs == [attrset.from_attrs([0, 1])]
+
+    def test_format(self, city_relation):
+        result = discover_uccs(city_relation)
+        assert "name" in result.format()[0]
+
+    def test_counters(self, city_relation):
+        result = discover_uccs(city_relation)
+        assert result.rounds >= 1
+        assert result.validations >= len(result.uccs)
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_relations(self, seed):
+        rel = random_relation(25, 5, domain_sizes=4, seed=seed)
+        assert discover_uccs(rel).uccs == brute_force_uccs(rel)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_with_nulls(self, seed):
+        rel = random_relation(20, 4, domain_sizes=3, null_rate=0.2, seed=seed)
+        assert discover_uccs(rel).uccs == brute_force_uccs(rel)
+
+    def test_neq_semantics(self):
+        rel = random_relation(20, 4, domain_sizes=3, null_rate=0.3, seed=7,
+                              semantics="neq")
+        assert discover_uccs(rel).uccs == brute_force_uccs(rel)
+
+
+class TestCrossSubsystem:
+    @settings(deadline=None, max_examples=15)
+    @given(seed=st.integers(0, 300))
+    def test_uccs_equal_candidate_keys_of_discovered_cover(self, seed):
+        """Minimal UCCs of a duplicate-free relation are exactly the
+        candidate keys implied by its discovered FD cover."""
+        rel = random_relation(20, 4, domain_sizes=5, seed=seed)
+        uccs = discover_uccs(rel).uccs
+        if not uccs:  # duplicate rows drawn — no keys at all
+            return
+        fds = list(DHyFD().discover(rel).fds)
+        keys = candidate_keys(rel.n_cols, fds)
+        assert sorted(keys) == sorted(uccs)

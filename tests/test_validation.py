@@ -1,0 +1,100 @@
+"""Unit tests for FD validation (Algorithm 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.validation import check_fd, validate_fd
+from repro.partitions.stripped import StrippedPartition
+from repro.relational import attrset
+from repro.relational.fd import FD
+
+
+def A(*attrs):
+    return attrset.from_attrs(attrs)
+
+
+class TestValidateFd:
+    def test_valid_fd(self, city_relation):
+        partition = StrippedPartition.for_attribute(city_relation, 1)
+        result = validate_fd(city_relation, A(1), A(2, 3), partition)
+        assert result.valid_rhs == A(2, 3)
+        assert result.non_fd_lhs == set()
+
+    def test_invalid_fd_returns_non_fds(self, city_relation):
+        partition = StrippedPartition.for_attribute(city_relation, 2)
+        result = validate_fd(city_relation, A(2), A(1), partition)
+        assert result.valid_rhs == attrset.EMPTY
+        assert result.non_fd_lhs
+        for agree in result.non_fd_lhs:
+            # every reported agree set contains the LHS (city)
+            assert attrset.is_subset(A(2), agree)
+            # and never the violated attribute (zip)
+            assert not attrset.contains(agree, 1)
+
+    def test_mixed_rhs(self, city_relation):
+        partition = StrippedPartition.for_attribute(city_relation, 2)
+        result = validate_fd(city_relation, A(2), A(1, 3), partition)
+        assert result.valid_rhs == A(3)  # state survives, zip does not
+
+    def test_coarser_partition_refined_on_the_fly(self, city_relation):
+        universal = StrippedPartition.universal(city_relation)
+        result = validate_fd(city_relation, A(1), A(2), universal)
+        assert result.valid_rhs == A(2)
+
+    def test_rejects_non_subset_partition(self, city_relation):
+        partition = StrippedPartition.for_attribute(city_relation, 2)
+        with pytest.raises(ValueError):
+            validate_fd(city_relation, A(1), A(3), partition)
+
+    def test_empty_lhs_constant_column(self, city_relation):
+        universal = StrippedPartition.universal(city_relation)
+        result = validate_fd(
+            city_relation, attrset.EMPTY, city_relation.schema.all_attrs(), universal
+        )
+        assert result.valid_rhs == A(3)  # only state is constant
+
+    def test_comparisons_counted(self, city_relation):
+        universal = StrippedPartition.universal(city_relation)
+        result = validate_fd(city_relation, attrset.EMPTY, A(3), universal)
+        assert result.comparisons == 5  # pivot vs the 5 other rows
+
+    def test_early_exit_within_chunk(self, city_relation):
+        universal = StrippedPartition.universal(city_relation)
+        # name (a key) disagrees immediately -> the first chunk settles it
+        result = validate_fd(city_relation, attrset.EMPTY, A(0), universal)
+        assert result.valid_rhs == attrset.EMPTY
+        assert 1 <= result.comparisons <= city_relation.n_rows - 1
+
+    def test_early_exit_skips_later_chunks(self):
+        """An FD invalidated in the first chunk of a huge cluster must
+        not scan the whole cluster."""
+        from repro.relational.relation import Relation
+
+        rows = [("g", str(i)) for i in range(1000)]
+        rel = Relation.from_rows(rows, ["grp", "val"])
+        universal = StrippedPartition.universal(rel)
+        result = validate_fd(rel, attrset.EMPTY, A(1), universal)
+        assert result.valid_rhs == attrset.EMPTY
+        assert result.comparisons <= 64
+
+
+class TestCheckFd:
+    def test_matches_definition(self, city_relation):
+        assert check_fd(city_relation, A(1), A(2))
+        assert not check_fd(city_relation, A(2), A(1))
+        assert check_fd(city_relation, A(0), A(1, 2, 3))  # name is a key
+        assert check_fd(city_relation, attrset.EMPTY, A(3))
+
+    def test_null_semantics_affect_validity(self, null_relation):
+        # maybe -> tag holds under EQ (nulls agree, both tagged x)
+        assert check_fd(null_relation, A(1), A(2))
+        neq = null_relation.with_semantics("neq")
+        # under NEQ nulls are unique, so clusters shrink; still holds
+        assert check_fd(neq, A(1), A(2))
+        # tag -> maybe: x-rows have NULL, NULL -> equal under EQ only
+        assert check_fd(null_relation, A(2), A(1))
+        assert not check_fd(neq, A(2), A(1))
+
+    def test_duplicates_do_not_violate(self, duplicate_relation):
+        assert check_fd(duplicate_relation, A(0), A(1, 2))
