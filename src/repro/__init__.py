@@ -43,6 +43,15 @@ from .normalize import (
 )
 from .profiling import FDProfile, markdown_report, profile
 from .ranking import NullPolicy, dataset_redundancy, rank_cover
+from .telemetry import (
+    MetricsRegistry,
+    Tracer,
+    current_tracer,
+    format_trace,
+    trace_summary,
+    use_tracer,
+    write_trace_jsonl,
+)
 from .ucc import UCCResult, discover_uccs
 from .relational import (
     FD,
@@ -67,6 +76,7 @@ __all__ = [
     "FDSet",
     "HyFD",
     "IncrementalFDMaintainer",
+    "MetricsRegistry",
     "NULL",
     "NaiveFDDiscovery",
     "NullPolicy",
@@ -75,6 +85,7 @@ __all__ = [
     "RelationSchema",
     "TANE",
     "TimeLimitExceeded",
+    "Tracer",
     "algorithm_names",
     "candidate_keys",
     "canonical_cover",
@@ -83,14 +94,19 @@ __all__ = [
     "UCCResult",
     "closure",
     "compare_covers",
+    "current_tracer",
     "dataset_redundancy",
     "discover_uccs",
     "decompose_bcnf",
     "equivalent",
+    "format_trace",
     "make_algorithm",
     "markdown_report",
     "profile",
     "rank_cover",
     "read_csv",
     "synthesize_3nf",
+    "trace_summary",
+    "use_tracer",
+    "write_trace_jsonl",
 ]

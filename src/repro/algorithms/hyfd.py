@@ -32,6 +32,7 @@ from ..relational import attrset
 from ..relational.attrset import AttrSet
 from ..relational.fd import FDSet, normalize_singleton_cover
 from ..relational.relation import Relation
+from ..telemetry import current_tracer
 
 
 class HyFD(DiscoveryAlgorithm):
@@ -86,22 +87,27 @@ class HyFD(DiscoveryAlgorithm):
 
         self._sampling_phase(sampler, tree, applied, stats, deadline)
 
+        tracer = current_tracer()
         level = 1
         candidates = tree.nodes_at_level(level)
         while candidates:
             deadline.check()
             total = sum(attrset.count(node.rhs) for node in candidates)
             violations: Set[AttrSet] = set()
-            for node in candidates:
-                if node.deleted or not node.rhs:
-                    continue
-                partition = self._best_singleton(singletons, node.path())
-                outcome = validate_fd(relation, node.path(), node.rhs, partition)
-                stats.validations += 1
-                stats.comparisons += outcome.comparisons
-                violations |= outcome.non_fd_lhs
-                deadline.check()
-            self._induct(tree, violations, applied, stats, deadline)
+            with tracer.span("validation", level=level, candidates=total):
+                for node in candidates:
+                    if node.deleted or not node.rhs:
+                        continue
+                    partition = self._best_singleton(singletons, node.path())
+                    outcome = validate_fd(
+                        relation, node.path(), node.rhs, partition
+                    )
+                    stats.validations += 1
+                    stats.comparisons += outcome.comparisons
+                    violations |= outcome.non_fd_lhs
+                    deadline.check()
+            with tracer.span("induction", level=level, non_fds=len(violations)):
+                self._induct(tree, violations, applied, stats, deadline)
 
             surviving = sum(
                 attrset.count(node.rhs)
@@ -114,6 +120,11 @@ class HyFD(DiscoveryAlgorithm):
                 and not sampler.exhausted()
             ):
                 stats.strategy_switches += 1
+                tracer.event(
+                    "strategy_switch",
+                    level=level,
+                    invalid_fraction=invalid_fraction,
+                )
                 self._sampling_phase(sampler, tree, applied, stats, deadline)
 
             stats.levels_processed += 1
@@ -133,14 +144,18 @@ class HyFD(DiscoveryAlgorithm):
         deadline: Deadline,
     ) -> None:
         """Run sampling rounds until the hit rate drops too low."""
-        while not sampler.exhausted():
-            deadline.check()
-            agree_sets, round_stats = sampler.sample_round()
-            stats.comparisons += round_stats.comparisons
-            stats.sampled_non_fds += len(agree_sets)
-            self._induct(tree, agree_sets, applied, stats, deadline)
-            if round_stats.efficiency < self.sample_efficiency_threshold:
-                break
+        with current_tracer().span("sampling") as span:
+            rounds = 0
+            while not sampler.exhausted():
+                deadline.check()
+                agree_sets, round_stats = sampler.sample_round()
+                rounds += 1
+                stats.comparisons += round_stats.comparisons
+                stats.sampled_non_fds += len(agree_sets)
+                self._induct(tree, agree_sets, applied, stats, deadline)
+                if round_stats.efficiency < self.sample_efficiency_threshold:
+                    break
+            span.annotate(rounds=rounds, non_fds=stats.sampled_non_fds)
 
     def _induct(
         self,
@@ -156,7 +171,9 @@ class HyFD(DiscoveryAlgorithm):
             if count % 64 == 0:
                 deadline.check()
             applied.add(lhs)
-            synergized_induct(tree, lhs, attrset.complement(lhs, tree.n_cols))
+            synergized_induct(
+                tree, lhs, attrset.complement(lhs, tree.n_cols), tally=stats
+            )
             stats.induction_calls += 1
 
     @staticmethod

@@ -56,4 +56,6 @@ class NaiveFDDiscovery(DiscoveryAlgorithm):
                             if attr > floor:
                                 next_level.append(attrset.add(lhs, attr))
                 level = next_level
+        stats.record_cache(cache)
+        cache.record_telemetry(scope="naive")
         return fds, stats

@@ -8,15 +8,17 @@ mirroring Table II's reporting.
 
 from __future__ import annotations
 
+import contextlib
 import time
 import tracemalloc
-from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Tuple, TypeVar
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, TypeVar, Union
 
 from ..algorithms.registry import make_algorithm
 from ..core.base import TimeLimitExceeded
 from ..core.result import DiscoveryResult
 from ..relational.relation import Relation
+from ..telemetry import Tracer, trace_summary, use_tracer
 
 T = TypeVar("T")
 
@@ -46,6 +48,9 @@ class RunRecord:
     peak_memory_bytes: Optional[int]
     fd_count: Optional[int]
     timed_out: bool = False
+    #: Flat telemetry summary (phase timings + metrics) when the run
+    #: was traced; embeddable directly in ``BENCH_*.json`` payloads.
+    telemetry: Optional[Dict[str, object]] = field(default=None, repr=False)
 
     @property
     def seconds_text(self) -> str:
@@ -68,37 +73,43 @@ def run_discovery(
     dataset: str = "?",
     time_limit: Optional[float] = None,
     track_memory: bool = True,
+    trace: Union[bool, Tracer] = False,
     **algorithm_kwargs,
 ) -> Tuple[RunRecord, Optional[DiscoveryResult]]:
-    """Run one algorithm over one relation, TL-aware."""
+    """Run one algorithm over one relation, TL-aware.
+
+    With ``trace`` set (``True`` for a fresh tracer, or a
+    :class:`~repro.telemetry.Tracer` to record onto), the per-phase
+    telemetry summary lands in ``RunRecord.telemetry`` — including on
+    timeouts, where the partial trace shows which phase hit the limit.
+    """
     algo = make_algorithm(algorithm, time_limit=time_limit, **algorithm_kwargs)
-    try:
-        if track_memory:
-            result, seconds, peak = measure(lambda: algo.discover(relation))
-        else:
-            start = time.perf_counter()
-            result = algo.discover(relation)
-            seconds, peak = time.perf_counter() - start, 0
-    except TimeLimitExceeded:
-        record = RunRecord(
-            dataset=dataset,
-            algorithm=algorithm,
-            n_rows=relation.n_rows,
-            n_cols=relation.n_cols,
-            seconds=None,
-            peak_memory_bytes=None,
-            fd_count=None,
-            timed_out=True,
-        )
-        return record, None
+    tracer = Tracer() if trace is True else (trace or None)
+    timed_out = False
+    result = None
+    seconds: Optional[float] = None
+    peak: Optional[int] = None
+    context = use_tracer(tracer) if tracer is not None else contextlib.nullcontext()
+    with context:
+        try:
+            if track_memory:
+                result, seconds, peak = measure(lambda: algo.discover(relation))
+            else:
+                start = time.perf_counter()
+                result = algo.discover(relation)
+                seconds, peak = time.perf_counter() - start, 0
+        except TimeLimitExceeded:
+            timed_out = True
     record = RunRecord(
         dataset=dataset,
         algorithm=algorithm,
         n_rows=relation.n_rows,
         n_cols=relation.n_cols,
-        seconds=seconds,
-        peak_memory_bytes=peak,
-        fd_count=result.fd_count,
+        seconds=None if timed_out else seconds,
+        peak_memory_bytes=None if timed_out else peak,
+        fd_count=None if timed_out else result.fd_count,
+        timed_out=timed_out,
+        telemetry=trace_summary(tracer) if tracer is not None else None,
     )
     return record, result
 
@@ -107,13 +118,22 @@ def run_matrix(
     relations: Dict[str, Relation],
     algorithms: Iterable[str],
     time_limit: Optional[float] = None,
+    trace: bool = False,
 ) -> List[RunRecord]:
-    """Run every algorithm over every relation (a results-table sweep)."""
+    """Run every algorithm over every relation (a results-table sweep).
+
+    ``trace=True`` gives every cell its own tracer so each record
+    carries an independent per-phase telemetry summary.
+    """
     records: List[RunRecord] = []
     for dataset, relation in relations.items():
         for algorithm in algorithms:
             record, _ = run_discovery(
-                relation, algorithm, dataset=dataset, time_limit=time_limit
+                relation,
+                algorithm,
+                dataset=dataset,
+                time_limit=time_limit,
+                trace=trace,
             )
             records.append(record)
     return records

@@ -12,6 +12,7 @@ Subcommands::
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from typing import List, Optional
 
@@ -23,6 +24,19 @@ from .profiling.profiler import profile
 from .relational.io import read_csv, write_csv
 from .relational.null import NullSemantics
 from .relational.relation import Relation
+from .telemetry import Tracer, format_trace, use_tracer, write_trace_jsonl
+
+
+def package_version() -> str:
+    """The installed package version, falling back to ``repro.__version__``."""
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:
+        from . import __version__
+
+        return __version__
 
 
 def _load_input(args: argparse.Namespace) -> Relation:
@@ -54,10 +68,51 @@ def _add_input_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_trace_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="record phase telemetry and print the span tree",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write trace events as JSONL to PATH (implies --trace)",
+    )
+    parser.add_argument(
+        "--trace-memory",
+        action="store_true",
+        help="also record tracemalloc memory deltas per span (implies --trace)",
+    )
+
+
+def _make_tracer(args: argparse.Namespace) -> Optional[Tracer]:
+    """A tracer when any --trace* flag was given, else None."""
+    if args.trace or args.trace_out or args.trace_memory:
+        return Tracer(track_memory=args.trace_memory)
+    return None
+
+
+def _finish_trace(tracer: Optional[Tracer], args: argparse.Namespace) -> None:
+    """Print the span tree and write the JSONL stream as requested."""
+    if tracer is None:
+        return
+    tracer.close()
+    print()
+    print(format_trace(tracer))
+    if args.trace_out:
+        count = write_trace_jsonl(tracer, args.trace_out)
+        print(f"wrote {count} trace events to {args.trace_out}")
+
+
 def _cmd_discover(args: argparse.Namespace) -> int:
     relation = _load_input(args)
     algo = make_algorithm(args.algorithm, time_limit=args.time_limit)
-    result = algo.discover(relation)
+    tracer = _make_tracer(args)
+    context = use_tracer(tracer) if tracer is not None else contextlib.nullcontext()
+    with context:
+        result = algo.discover(relation)
     print(
         f"{result.algorithm}: {result.fd_count} FDs in "
         f"{result.elapsed_seconds:.3f}s on {relation.n_rows} rows x "
@@ -66,12 +121,19 @@ def _cmd_discover(args: argparse.Namespace) -> int:
     if args.show_fds:
         for line in result.format_fds():
             print(" ", line)
+    _finish_trace(tracer, args)
     return 0
 
 
 def _cmd_rank(args: argparse.Namespace) -> int:
     relation = _load_input(args)
-    outcome = profile(relation, algorithm=args.algorithm, time_limit=args.time_limit)
+    tracer = _make_tracer(args)
+    outcome = profile(
+        relation,
+        algorithm=args.algorithm,
+        time_limit=args.time_limit,
+        trace=tracer or False,
+    )
     print(outcome.summary())
     print()
     assert outcome.ranking is not None
@@ -85,6 +147,7 @@ def _cmd_rank(args: argparse.Namespace) -> int:
         for ranked in top
     ]
     print(format_table(["FD", "#red+0", "#red"], rows, title="Top-ranked FDs"))
+    _finish_trace(tracer, args)
     return 0
 
 
@@ -221,6 +284,11 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-fd",
         description="FD discovery and ranking (Wei & Link, ICDE 2019 reproduction)",
     )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {package_version()}",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     discover = sub.add_parser("discover", help="run FD discovery")
@@ -228,6 +296,7 @@ def build_parser() -> argparse.ArgumentParser:
     discover.add_argument("--algorithm", default="dhyfd", choices=algorithm_names())
     discover.add_argument("--time-limit", type=float, default=None)
     discover.add_argument("--show-fds", action="store_true")
+    _add_trace_args(discover)
     discover.set_defaults(handler=_cmd_discover)
 
     rank = sub.add_parser("rank", help="discover + canonical cover + ranking")
@@ -235,6 +304,7 @@ def build_parser() -> argparse.ArgumentParser:
     rank.add_argument("--algorithm", default="dhyfd", choices=algorithm_names())
     rank.add_argument("--time-limit", type=float, default=None)
     rank.add_argument("--top", type=int, default=15)
+    _add_trace_args(rank)
     rank.set_defaults(handler=_cmd_rank)
 
     covers = sub.add_parser("covers", help="left-reduced vs canonical cover")

@@ -15,6 +15,7 @@ from typing import Optional, Tuple
 
 from ..relational.fd import FDSet
 from ..relational.relation import Relation
+from ..telemetry import current_tracer
 from .result import DiscoveryResult, DiscoveryStats
 
 
@@ -60,7 +61,13 @@ class DiscoveryAlgorithm(abc.ABC):
         """
         deadline = Deadline(self.time_limit, self.name)
         start = time.perf_counter()
-        fds, stats = self._find_fds(relation, deadline)
+        with current_tracer().span(
+            "discovery",
+            algorithm=self.name,
+            rows=relation.n_rows,
+            cols=relation.n_cols,
+        ):
+            fds, stats = self._find_fds(relation, deadline)
         elapsed = time.perf_counter() - start
         return DiscoveryResult(
             algorithm=self.name,

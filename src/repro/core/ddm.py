@@ -40,6 +40,12 @@ class DynamicDataManager:
         self.dynamic: List[StrippedPartition] = []
         #: Number of Algorithm 3 runs (refinement rounds).
         self.update_count = 0
+        #: Lookup accounting: a hit is a node resolved to its dynamic
+        #: partition, a miss falls back to a singleton; an eviction is a
+        #: dynamic partition dropped by a refinement round.
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
 
     # ------------------------------------------------------------------
     # Lookup
@@ -58,7 +64,9 @@ class DynamicDataManager:
             if index < len(self.dynamic):
                 partition = self.dynamic[index]
                 if attrset.is_subset(partition.attrs, node.path()):
+                    self.hits += 1
                     return partition
+        self.misses += 1
         return self.best_singleton(node.path())
 
     def best_singleton(self, path: AttrSet) -> StrippedPartition:
@@ -98,6 +106,7 @@ class DynamicDataManager:
             new_array.append(partition)
             new_id = self.n_cols + len(new_array) - 1
             _assign_id_to_subtree(node, new_id)
+        self.evictions += len(self.dynamic)
         self.dynamic = new_array
         self.update_count += 1
 

@@ -21,6 +21,7 @@ from ..relational import attrset
 from ..relational.attrset import AttrSet
 from ..relational.fd import FDSet, normalize_singleton_cover
 from ..relational.relation import Relation
+from ..telemetry import current_tracer
 from .base import Deadline, DiscoveryAlgorithm
 from .ddm import DynamicDataManager
 from .ratio import DEFAULT_RATIO_THRESHOLD, LevelDecision
@@ -61,6 +62,7 @@ class DHyFD(DiscoveryAlgorithm):
         self, relation: Relation, deadline: Deadline
     ) -> Tuple[FDSet, DiscoveryStats]:
         stats = DiscoveryStats()
+        tracer = current_tracer()
         n_cols = relation.n_cols
         all_attrs = attrset.full_set(n_cols)
 
@@ -72,14 +74,21 @@ class DHyFD(DiscoveryAlgorithm):
         # --- one-shot sampling plus root validation (Alg. 6 lines 5-6)
         violations: Set[AttrSet] = set()
         if self.enable_initial_sampling:
-            violations |= initial_sample(relation, ddm.singletons)
+            with tracer.span("sampling") as span:
+                violations |= initial_sample(relation, ddm.singletons)
+                span.annotate(non_fds=len(violations))
         stats.sampled_non_fds = len(violations)
-        root_check = validate_fd(relation, attrset.EMPTY, all_attrs, ddm.universal)
+        with tracer.span("validation", level=0) as span:
+            root_check = validate_fd(
+                relation, attrset.EMPTY, all_attrs, ddm.universal
+            )
+            span.annotate(comparisons=root_check.comparisons)
         stats.comparisons += root_check.comparisons
         stats.validations += 1
         violations |= root_check.non_fd_lhs
         applied: Set[AttrSet] = set()
-        self._induct_all(tree, violations, applied, 0, 0, None, stats, deadline)
+        with tracer.span("induction", level=0, non_fds=len(violations)):
+            self._induct_all(tree, violations, applied, 0, 0, None, stats, deadline)
 
         controlled_level = 1
         validation_level = 1
@@ -92,26 +101,39 @@ class DHyFD(DiscoveryAlgorithm):
             total = sum(attrset.count(node.rhs) for node in candidates)
             vl_nodes: List[ExtFDNode] = list(candidates)
 
-            for node in candidates:
-                if node.deleted or not node.rhs:
-                    continue
-                partition = ddm.partition_for_node(node)
-                outcome = validate_fd(relation, node.path(), node.rhs, partition)
-                stats.validations += 1
-                stats.comparisons += outcome.comparisons
-                violations |= outcome.non_fd_lhs
-                deadline.check()
+            with tracer.span(
+                "validation", level=validation_level, candidates=total
+            ) as span:
+                level_comparisons = 0
+                for node in candidates:
+                    if node.deleted or not node.rhs:
+                        continue
+                    partition = ddm.partition_for_node(node)
+                    outcome = validate_fd(
+                        relation, node.path(), node.rhs, partition
+                    )
+                    stats.validations += 1
+                    level_comparisons += outcome.comparisons
+                    violations |= outcome.non_fd_lhs
+                    deadline.check()
+                stats.comparisons += level_comparisons
+                span.annotate(
+                    comparisons=level_comparisons, non_fds=len(violations)
+                )
 
-            self._induct_all(
-                tree,
-                violations,
-                applied,
-                controlled_level,
-                validation_level,
-                vl_nodes,
-                stats,
-                deadline,
-            )
+            with tracer.span(
+                "induction", level=validation_level, non_fds=len(violations)
+            ):
+                self._induct_all(
+                    tree,
+                    violations,
+                    applied,
+                    controlled_level,
+                    validation_level,
+                    vl_nodes,
+                    stats,
+                    deadline,
+                )
 
             live = [node for node in candidates if not node.deleted]
             reusables = [node for node in live if node.children]
@@ -134,9 +156,26 @@ class DHyFD(DiscoveryAlgorithm):
                     "ratio": min(decision.ratio, 1e9),
                 }
             )
-            if self.enable_ddm_updates and decision.should_update(self.ratio_threshold):
+            refresh = self.enable_ddm_updates and decision.should_update(
+                self.ratio_threshold
+            )
+            tracer.event(
+                "ratio_decision",
+                level=validation_level,
+                candidates=total,
+                valid=valid_here,
+                efficiency=decision.efficiency,
+                inefficiency=decision.inefficiency,
+                ratio=min(decision.ratio, 1e9),
+                refresh=refresh,
+            )
+            if refresh:
                 controlled_level = validation_level
-                ddm.update(reusables)
+                with tracer.span(
+                    "refinement", level=validation_level, nodes=len(reusables)
+                ) as span:
+                    ddm.update(reusables)
+                    span.annotate(memory_bytes=ddm.dynamic_memory_bytes())
                 stats.partition_refreshes += 1
             stats.partition_memory_peak_bytes = max(
                 stats.partition_memory_peak_bytes, ddm.memory_bytes()
@@ -145,6 +184,23 @@ class DHyFD(DiscoveryAlgorithm):
             validation_level += 1
             candidates = tree.nodes_at_level(validation_level)
 
+        stats.record_cache(ddm)
+        tracer.event(
+            "partition_cache",
+            scope="ddm",
+            hits=ddm.hits,
+            misses=ddm.misses,
+            evictions=ddm.evictions,
+            entries=len(ddm.dynamic) + len(ddm.singletons) + 1,
+            memory_bytes=ddm.memory_bytes(),
+        )
+        cache_counters = tracer.metrics
+        cache_counters.counter("partition_cache.hits").inc(ddm.hits)
+        cache_counters.counter("partition_cache.misses").inc(ddm.misses)
+        cache_counters.counter("partition_cache.evictions").inc(ddm.evictions)
+        cache_counters.gauge("partition_cache.memory_bytes").set_max(
+            stats.partition_memory_peak_bytes
+        )
         return normalize_singleton_cover(tree.iter_fds()), stats
 
     @staticmethod
@@ -166,5 +222,5 @@ class DHyFD(DiscoveryAlgorithm):
                 deadline.check()
             applied.add(lhs)
             rhs = attrset.complement(lhs, tree.n_cols)
-            synergized_induct(tree, lhs, rhs, cl, vl, vl_nodes)
+            synergized_induct(tree, lhs, rhs, cl, vl, vl_nodes, tally=stats)
             stats.induction_calls += 1

@@ -18,11 +18,27 @@ class DiscoveryStats:
     comparisons: int = 0
     sampled_non_fds: int = 0
     induction_calls: int = 0
+    induction_nodes_visited: int = 0
+    induction_fds_inserted: int = 0
     levels_processed: int = 0
     partition_refreshes: int = 0
     partition_memory_peak_bytes: int = 0
+    partition_cache_hits: int = 0
+    partition_cache_misses: int = 0
+    partition_cache_evictions: int = 0
     strategy_switches: int = 0
     level_log: List[Dict[str, float]] = field(default_factory=list)
+
+    def record_cache(self, cache) -> None:
+        """Copy hit/miss/eviction counts off a partition store.
+
+        Accepts anything with ``hits``/``misses``/``evictions``
+        attributes — :class:`~repro.partitions.cache.PartitionCache` or
+        the DHyFD :class:`~repro.core.ddm.DynamicDataManager`.
+        """
+        self.partition_cache_hits = cache.hits
+        self.partition_cache_misses = cache.misses
+        self.partition_cache_evictions = cache.evictions
 
 
 @dataclass

@@ -31,19 +31,25 @@ def synergized_induct(
     cl: int = 0,
     vl: int = 0,
     vl_nodes: Optional[List[ExtFDNode]] = None,
+    tally: Optional[object] = None,
 ) -> None:
     """Apply the non-FD ``lhs ↛ rhs`` to an extended FD-tree (Algorithm 2).
 
     ``cl``/``vl``/``vl_nodes`` thread the controlled/validation level
     context through to Algorithm 1 so newly inserted paths receive
     consistent ids; they default to "no level tracking" for plain
-    FDEP-style use.
+    FDEP-style use.  ``tally``, when given, must expose integer
+    ``induction_nodes_visited`` / ``induction_fds_inserted`` attributes
+    (:class:`~repro.core.result.DiscoveryStats` does) and accumulates
+    the traversal's work for telemetry.
     """
     all_attrs = attrset.full_set(tree.n_cols)
     rhs = attrset.difference(rhs & all_attrs, lhs)
     if not rhs:
         return
-    _induct_recursive(tree, tree.root, lhs, rhs, cl, vl, vl_nodes)
+    visited = _induct_recursive(tree, tree.root, lhs, rhs, cl, vl, vl_nodes, tally)
+    if tally is not None:
+        tally.induction_nodes_visited += visited
 
 
 def _induct_recursive(
@@ -54,12 +60,18 @@ def _induct_recursive(
     cl: int,
     vl: int,
     vl_nodes: Optional[List[ExtFDNode]],
-) -> None:
-    """Visit every path ``⊆ full_lhs``; strip and specialize FD-nodes."""
+    tally: Optional[object] = None,
+) -> int:
+    """Visit every path ``⊆ full_lhs``; strip and specialize FD-nodes.
+
+    Returns the number of nodes visited in this subtree (accumulated in
+    locals so the untraced hot path pays no per-node attribute writes).
+    """
+    visited = 1
     removed = node.rhs & rhs
     if removed:
         tree.strip_rhs(node, rhs)
-        _specialize(tree, node.path(), full_lhs, removed, cl, vl, vl_nodes)
+        _specialize(tree, node.path(), full_lhs, removed, cl, vl, vl_nodes, tally)
 
     # Iterate children (few) rather than LHS attrs (possibly many);
     # paths are strictly increasing so each node is visited once.
@@ -68,10 +80,13 @@ def _induct_recursive(
     # set exactly "paths ⊆ full_lhs that existed at entry".
     for attr, child in list(node.children.items()):
         if full_lhs >> attr & 1:
-            _induct_recursive(tree, child, full_lhs, rhs, cl, vl, vl_nodes)
+            visited += _induct_recursive(
+                tree, child, full_lhs, rhs, cl, vl, vl_nodes, tally
+            )
 
     if node is not tree.root and not node.children and not node.rhs:
         tree.prune_dead_path(node)
+    return visited
 
 
 def _specialize(
@@ -82,6 +97,7 @@ def _specialize(
     cl: int,
     vl: int,
     vl_nodes: Optional[List[ExtFDNode]],
+    tally: Optional[object] = None,
 ) -> None:
     """Insert all non-trivial, non-implied specializations of a removed FD.
 
@@ -101,6 +117,8 @@ def _specialize(
         )
         if new_rhs:
             tree.add_fd(new_lhs, new_rhs, cl, vl, vl_nodes)
+            if tally is not None:
+                tally.induction_fds_inserted += attrset.count(new_rhs)
 
     if attrset.count(removed) > 1:
         for extra in attrset.iter_attrs(removed):
@@ -111,6 +129,8 @@ def _specialize(
             )
             if new_rhs:
                 tree.add_fd(new_lhs, new_rhs, cl, vl, vl_nodes)
+                if tally is not None:
+                    tally.induction_fds_inserted += attrset.count(new_rhs)
 
 
 def classic_induct(tree: ClassicFDTree, lhs: AttrSet, rhs: AttrSet) -> None:

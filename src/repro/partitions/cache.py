@@ -15,6 +15,7 @@ from typing import Dict, Optional
 from ..relational import attrset
 from ..relational.attrset import AttrSet
 from ..relational.relation import Relation
+from ..telemetry import current_tracer
 from .stripped import StrippedPartition
 
 
@@ -26,6 +27,14 @@ class PartitionCache:
         self._store: Dict[AttrSet, StrippedPartition] = {}
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        # Instruments resolved once against the tracer current at
+        # construction; with telemetry off these are shared no-ops.
+        telemetry = current_tracer()
+        self._hit_counter = telemetry.counter("partition_cache.hits")
+        self._miss_counter = telemetry.counter("partition_cache.misses")
+        self._evict_counter = telemetry.counter("partition_cache.evictions")
+        self._memory_gauge = telemetry.gauge("partition_cache.memory_bytes")
         self._seed_singletons()
 
     def _seed_singletons(self) -> None:
@@ -43,6 +52,28 @@ class PartitionCache:
         """Approximate bytes held by all cached partitions."""
         return sum(p.memory_bytes() for p in self._store.values())
 
+    def record_telemetry(self, scope: str = "cache") -> None:
+        """Emit a summary event + memory gauge on the current tracer.
+
+        Cheap no-op when telemetry is disabled; callers invoke it once
+        at the end of a cache-using pass (ranking, redundancy, naive
+        discovery), not per lookup.
+        """
+        tracer = current_tracer()
+        if not tracer.enabled:
+            return
+        memory = self.memory_bytes()
+        self._memory_gauge.set_max(memory)
+        tracer.event(
+            "partition_cache",
+            scope=scope,
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,
+            entries=len(self._store),
+            memory_bytes=memory,
+        )
+
     def peek(self, attrs: AttrSet) -> Optional[StrippedPartition]:
         """Return the cached partition for ``attrs`` if present."""
         return self._store.get(attrs)
@@ -52,8 +83,10 @@ class PartitionCache:
         cached = self._store.get(attrs)
         if cached is not None:
             self.hits += 1
+            self._hit_counter.inc()
             return cached
         self.misses += 1
+        self._miss_counter.inc()
         base = self._best_subset(attrs)
         partition = base.refine_many(
             self.relation, attrset.iter_attrs(attrset.difference(attrs, base.attrs))
@@ -76,6 +109,8 @@ class PartitionCache:
         victims = [a for a in self._store if attrset.count(a) == level]
         for victim in victims:
             del self._store[victim]
+        self.evictions += len(victims)
+        self._evict_counter.inc(len(victims))
 
     def _best_subset(self, attrs: AttrSet) -> StrippedPartition:
         """A cached partition over a large subset of ``attrs``.

@@ -18,6 +18,7 @@ from ..ranking.redundancy import RedundancyReport, dataset_redundancy
 from ..relational.fd import FDSet
 from ..relational.null import NullSemantics
 from ..relational.relation import Relation
+from ..telemetry import Tracer, current_tracer, use_tracer
 from ..core.result import DiscoveryResult
 
 
@@ -31,6 +32,8 @@ class FDProfile:
     cover_comparison: CoverComparison
     ranking: Optional[RankingResult]
     redundancy: Optional[RedundancyReport]
+    #: The tracer that recorded the run (None unless ``trace`` was set).
+    tracer: Optional[Tracer] = None
 
     @property
     def left_reduced(self) -> FDSet:
@@ -72,6 +75,7 @@ def profile(
     null_semantics: Optional[Union[str, NullSemantics]] = None,
     rank: bool = True,
     time_limit: Optional[float] = None,
+    trace: Union[bool, Tracer, None] = False,
     **algorithm_kwargs,
 ) -> FDProfile:
     """Profile a relation end to end.
@@ -84,16 +88,29 @@ def profile(
         rank: also compute the redundancy ranking (skippable because it
             costs one partition pass per FD of the canonical cover).
         time_limit: wall-clock cap forwarded to the algorithm.
+        trace: telemetry control — ``True`` records the run on a fresh
+            :class:`~repro.telemetry.Tracer` (returned as
+            ``FDProfile.tracer``); an existing tracer records onto it;
+            ``False``/``None`` leaves whatever tracer is already
+            current in effect (the no-op tracer by default).
         **algorithm_kwargs: extra constructor args (e.g.
             ``ratio_threshold`` for DHyFD).
     """
     if null_semantics is not None:
         relation = relation.with_semantics(null_semantics)
+    if trace is True:
+        tracer: Optional[Tracer] = Tracer()
+    elif trace:
+        tracer = trace
+    else:
+        tracer = None
     algo = make_algorithm(algorithm, time_limit=time_limit, **algorithm_kwargs)
-    discovery = algo.discover(relation)
-    canonical, comparison = compare_covers(discovery.fds)
-    ranking = rank_cover(relation, canonical) if rank else None
-    redundancy = dataset_redundancy(relation, canonical) if rank else None
+    with use_tracer(tracer if tracer is not None else current_tracer()) as active:
+        discovery = algo.discover(relation)
+        with active.span("covers", fds=discovery.fd_count):
+            canonical, comparison = compare_covers(discovery.fds)
+        ranking = rank_cover(relation, canonical) if rank else None
+        redundancy = dataset_redundancy(relation, canonical) if rank else None
     return FDProfile(
         relation=relation,
         discovery=discovery,
@@ -101,4 +118,5 @@ def profile(
         cover_comparison=comparison,
         ranking=ranking,
         redundancy=redundancy,
+        tracer=tracer,
     )

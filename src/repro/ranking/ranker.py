@@ -16,6 +16,7 @@ from ..partitions.cache import PartitionCache
 from ..relational.fd import FD, FDSet
 from ..relational.relation import Relation
 from ..relational.schema import RelationSchema
+from ..telemetry import current_tracer
 from .redundancy import NullPolicy, count_redundant
 
 #: Fig. 10's x-axis: fractions of the maximum per-FD redundancy.
@@ -92,18 +93,21 @@ def rank_cover(relation: Relation, cover: Iterable[FD]) -> RankingResult:
     for determinism.
     """
     start = time.perf_counter()
-    cache = PartitionCache(relation)
-    ranked = [
-        RankedFD(
-            fd=fd,
-            redundancy=count_redundant(relation, fd, NullPolicy.INCLUDE, cache),
-            redundancy_excluding_null=count_redundant(
-                relation, fd, NullPolicy.EXCLUDE_RHS, cache
-            ),
-        )
-        for fd in cover
-    ]
-    ranked.sort(key=lambda r: (-r.redundancy, r.fd.lhs, r.fd.rhs))
+    fds = list(cover)
+    with current_tracer().span("ranking", fds=len(fds)):
+        cache = PartitionCache(relation)
+        ranked = [
+            RankedFD(
+                fd=fd,
+                redundancy=count_redundant(relation, fd, NullPolicy.INCLUDE, cache),
+                redundancy_excluding_null=count_redundant(
+                    relation, fd, NullPolicy.EXCLUDE_RHS, cache
+                ),
+            )
+            for fd in fds
+        ]
+        ranked.sort(key=lambda r: (-r.redundancy, r.fd.lhs, r.fd.rhs))
+        cache.record_telemetry(scope="ranking")
     return RankingResult(ranked=ranked, seconds=time.perf_counter() - start)
 
 

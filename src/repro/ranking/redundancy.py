@@ -31,6 +31,7 @@ from ..relational import attrset
 from ..relational.attrset import AttrSet
 from ..relational.fd import FD, FDSet
 from ..relational.relation import Relation
+from ..telemetry import current_tracer
 
 
 class NullPolicy(enum.Enum):
@@ -153,12 +154,14 @@ class RedundancyReport:
 def dataset_redundancy(relation: Relation, cover: FDSet) -> RedundancyReport:
     """Compute #values / #red / #red+0 for a relation and cover (timed)."""
     start = time.perf_counter()
-    cache = PartitionCache(relation)
-    including = redundancy_positions(relation, cover, NullPolicy.INCLUDE, cache)
-    null_matrix = np.column_stack(
-        [relation.null_mask(attr) for attr in range(relation.n_cols)]
-    ) if relation.n_cols else np.zeros((relation.n_rows, 0), dtype=bool)
-    excluding = including & ~null_matrix
+    with current_tracer().span("redundancy", fds=len(cover)):
+        cache = PartitionCache(relation)
+        including = redundancy_positions(relation, cover, NullPolicy.INCLUDE, cache)
+        null_matrix = np.column_stack(
+            [relation.null_mask(attr) for attr in range(relation.n_cols)]
+        ) if relation.n_cols else np.zeros((relation.n_rows, 0), dtype=bool)
+        excluding = including & ~null_matrix
+        cache.record_telemetry(scope="redundancy")
     elapsed = time.perf_counter() - start
     return RedundancyReport(
         n_values=relation.n_values,

@@ -1,0 +1,74 @@
+"""repro.telemetry — tracing, metrics and structured run reports.
+
+The observability layer for the whole discovery stack.  DHyFD's
+per-level economics (the efficiency–inefficiency ratio), partition-
+cache behaviour and phase timings are recorded through three small
+primitives:
+
+* :class:`Tracer` — nested wall-clock spans (optionally with
+  tracemalloc memory deltas), point events, and a metrics registry;
+* :class:`MetricsRegistry` — counters, gauges and histograms;
+* exporters — :func:`format_trace` (terminal tree),
+  :func:`write_trace_jsonl` (event stream) and :func:`trace_summary`
+  (flat dict for ``BENCH_*.json``).
+
+Instrumented code asks :func:`current_tracer` for the context-local
+tracer; the default is the shared no-op tracer, so with telemetry
+disabled every instrumentation site degenerates to a discarded method
+call.  Enable tracing around any call stack with::
+
+    from repro.telemetry import Tracer, use_tracer, format_trace
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        result = DHyFD().discover(relation)
+    print(format_trace(tracer))
+"""
+
+from .exporters import (
+    format_trace,
+    read_trace_jsonl,
+    trace_records,
+    trace_summary,
+    write_trace_jsonl,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NOOP_METRICS,
+    NoopMetricsRegistry,
+)
+from .spans import (
+    NOOP_TRACER,
+    NoopTracer,
+    Span,
+    TraceEvent,
+    Tracer,
+    current_tracer,
+    set_current_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NOOP_METRICS",
+    "NOOP_TRACER",
+    "NoopMetricsRegistry",
+    "NoopTracer",
+    "Span",
+    "TraceEvent",
+    "Tracer",
+    "current_tracer",
+    "format_trace",
+    "read_trace_jsonl",
+    "set_current_tracer",
+    "trace_records",
+    "trace_summary",
+    "use_tracer",
+    "write_trace_jsonl",
+]

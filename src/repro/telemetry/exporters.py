@@ -1,0 +1,182 @@
+"""Trace exporters: human-readable tree, JSONL event stream, flat summary.
+
+Three views of the same :class:`~repro.telemetry.spans.Tracer`:
+
+* :func:`format_trace` — an indented phase tree with millisecond
+  timings, span attributes and point events, for terminals;
+* :func:`write_trace_jsonl` / :func:`read_trace_jsonl` — one JSON
+  object per line (spans depth-first, then events, then metrics), the
+  machine-readable stream behind ``--trace-out``;
+* :func:`trace_summary` — a flat JSON-friendly dict aggregating span
+  durations by name plus all metrics, the shape the benchmark harness
+  embeds in its ``BENCH_*.json`` payloads.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import IO, Dict, Iterator, List, Union
+
+from .spans import Span, Tracer
+
+#: Schema version stamped on the JSONL meta record.
+JSONL_VERSION = 1
+
+
+def _json_safe(value: object) -> object:
+    """Clamp non-finite floats; JSON has no Infinity/NaN."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return 1e9 if value > 0 else (-1e9 if value < 0 else 0.0)
+    return value
+
+
+def _safe_attrs(attrs: Dict[str, object]) -> Dict[str, object]:
+    return {key: _json_safe(value) for key, value in attrs.items()}
+
+
+# ----------------------------------------------------------------------
+# Human-readable tree
+# ----------------------------------------------------------------------
+
+
+def _format_attrs(attrs: Dict[str, object]) -> str:
+    parts = []
+    for key, value in attrs.items():
+        if isinstance(value, float):
+            parts.append(f"{key}={value:.4g}")
+        else:
+            parts.append(f"{key}={value}")
+    return " ".join(parts)
+
+
+def _format_span_line(span: Span, depth: int, show_memory: bool) -> str:
+    label = "  " * depth + span.name
+    timing = "   (open)" if span.duration is None else f"{span.duration * 1e3:9.2f}ms"
+    line = f"{label:<42}{timing}"
+    if show_memory and span.memory_delta_bytes is not None:
+        line += f"  mem{span.memory_delta_bytes / 1024.0:+9.1f}KiB"
+    extras = _format_attrs(span.attrs)
+    if extras:
+        line += f"  {extras}"
+    return line
+
+
+def format_trace(tracer: Tracer, show_events: bool = True) -> str:
+    """Render the span tree (plus events and counters) as aligned text."""
+    show_memory = bool(getattr(tracer, "track_memory", False))
+    lines: List[str] = []
+    for span, depth in tracer.walk():
+        lines.append(_format_span_line(span, depth, show_memory))
+        if show_events:
+            for event in span.events:
+                extras = _format_attrs(event.attrs)
+                lines.append("  " * (depth + 1) + f"* {event.name}  {extras}".rstrip())
+    if show_events:
+        for event in tracer.events:
+            if event.span is None:
+                extras = _format_attrs(event.attrs)
+                lines.append(f"* {event.name}  {extras}".rstrip())
+    metrics = tracer.metrics.as_dict()
+    counters = metrics["counters"]
+    if counters:
+        lines.append("counters:")
+        for name, value in counters.items():
+            lines.append(f"  {name} = {value}")
+    gauges = metrics["gauges"]
+    if gauges:
+        lines.append("gauges:")
+        for name, value in gauges.items():
+            lines.append(f"  {name} = {value}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# JSONL event stream
+# ----------------------------------------------------------------------
+
+
+def trace_records(tracer: Tracer) -> Iterator[Dict[str, object]]:
+    """Yield every trace record as a JSON-friendly dict.
+
+    Order: one ``meta`` record, spans in depth-first order, events in
+    firing order, then counters/gauges/histograms.
+    """
+    yield {"type": "meta", "version": JSONL_VERSION, "spans": len(list(tracer.walk()))}
+    for span, depth in tracer.walk():
+        record: Dict[str, object] = {
+            "type": "span",
+            "name": span.name,
+            "start": span.start,
+            "duration": span.duration,
+            "depth": depth,
+            "attrs": _safe_attrs(span.attrs),
+        }
+        if span.memory_delta_bytes is not None:
+            record["memory_delta_bytes"] = span.memory_delta_bytes
+            record["memory_peak_bytes"] = span.memory_peak_bytes
+        yield record
+    for event in tracer.events:
+        yield {
+            "type": "event",
+            "name": event.name,
+            "time": event.time,
+            "span": event.span,
+            "attrs": _safe_attrs(event.attrs),
+        }
+    metrics = tracer.metrics.as_dict()
+    for name, value in metrics["counters"].items():
+        yield {"type": "counter", "name": name, "value": value}
+    for name, value in metrics["gauges"].items():
+        yield {"type": "gauge", "name": name, "value": _json_safe(value)}
+    for name, stats in metrics["histograms"].items():
+        yield {"type": "histogram", "name": name, **stats}
+
+
+def write_trace_jsonl(tracer: Tracer, target: Union[str, IO[str]]) -> int:
+    """Write the trace as JSONL to a path or text stream; returns #records."""
+    if hasattr(target, "write"):
+        handle: IO[str] = target  # type: ignore[assignment]
+        count = 0
+        for record in trace_records(tracer):
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            count += 1
+        return count
+    with open(target, "w", encoding="utf-8") as handle:
+        return write_trace_jsonl(tracer, handle)
+
+
+def read_trace_jsonl(source: Union[str, IO[str]]) -> List[Dict[str, object]]:
+    """Parse a JSONL trace back into a list of record dicts."""
+    if hasattr(source, "read"):
+        text: str = source.read()  # type: ignore[union-attr]
+    else:
+        with open(source, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    return [json.loads(line) for line in text.splitlines() if line.strip()]
+
+
+# ----------------------------------------------------------------------
+# Flat summary (BENCH_*.json shape)
+# ----------------------------------------------------------------------
+
+
+def trace_summary(tracer: Tracer) -> Dict[str, object]:
+    """Aggregate the trace into a flat JSON-friendly summary.
+
+    Span durations are summed per span name (a per-level ``validation``
+    span family becomes one row), event counts per event name, and the
+    full metrics registry rides along verbatim.
+    """
+    spans: Dict[str, Dict[str, float]] = {}
+    for span, _ in tracer.walk():
+        row = spans.setdefault(span.name, {"count": 0, "seconds": 0.0})
+        row["count"] += 1
+        if span.duration is not None:
+            row["seconds"] += span.duration
+    events: Dict[str, int] = {}
+    for event in tracer.events:
+        events[event.name] = events.get(event.name, 0) + 1
+    summary: Dict[str, object] = {"spans": spans, "events": events}
+    summary.update(tracer.metrics.as_dict())
+    return summary

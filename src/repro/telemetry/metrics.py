@@ -1,0 +1,216 @@
+"""Counters, gauges and histograms for discovery-run accounting.
+
+Metrics complement spans: a span answers "where did the time go", a
+metric answers "how much work of kind X happened".  All instruments are
+plain in-process objects — no background threads, no sampling — so a
+:class:`MetricsRegistry` costs nothing until something increments it.
+
+The no-op twins (:data:`NOOP_COUNTER` & co.) share the instruments'
+interface but discard every update.  Instrumented call sites fetch
+their instruments once (usually at construction time) from whatever
+tracer is current; with tracing disabled they end up holding the shared
+no-op singletons and each update is a single discarded method call.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+class Counter:
+    """A monotonically increasing count of events."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (default 1) to the counter."""
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (e.g. bytes currently held)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        self.value = value
+
+    def set_max(self, value: float) -> None:
+        """Record ``value`` only if it exceeds the current one."""
+        if value > self.value:
+            self.value = value
+
+
+class Histogram:
+    """A distribution of observed values with summary statistics."""
+
+    __slots__ = ("name", "count", "total", "min", "max", "_values")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        self._values.append(value)
+
+    @property
+    def mean(self) -> float:
+        """Average of the observations (0.0 when empty)."""
+        if self.count == 0:
+            return 0.0
+        return self.total / self.count
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-quantile (0 <= q <= 1) by nearest-rank; 0.0 if empty."""
+        if not self._values:
+            return 0.0
+        ordered = sorted(self._values)
+        rank = min(len(ordered) - 1, max(0, int(round(q * (len(ordered) - 1)))))
+        return ordered[rank]
+
+    def as_dict(self) -> Dict[str, float]:
+        """Summary statistics as a JSON-friendly dict."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.min is not None else 0.0,
+            "max": self.max if self.max is not None else 0.0,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create store for named instruments."""
+
+    __slots__ = ("counters", "gauges", "histograms")
+
+    def __init__(self):
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter registered under ``name`` (created on first use)."""
+        instrument = self.counters.get(name)
+        if instrument is None:
+            instrument = self.counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge registered under ``name`` (created on first use)."""
+        instrument = self.gauges.get(name)
+        if instrument is None:
+            instrument = self.gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram registered under ``name`` (created on first use)."""
+        instrument = self.histograms.get(name)
+        if instrument is None:
+            instrument = self.histograms[name] = Histogram(name)
+        return instrument
+
+    def as_dict(self) -> Dict[str, Dict[str, object]]:
+        """All instruments as a JSON-friendly nested dict."""
+        return {
+            "counters": {name: c.value for name, c in sorted(self.counters.items())},
+            "gauges": {name: g.value for name, g in sorted(self.gauges.items())},
+            "histograms": {
+                name: h.as_dict() for name, h in sorted(self.histograms.items())
+            },
+        }
+
+
+class _NoopCounter:
+    """Counter twin whose updates are discarded."""
+
+    __slots__ = ()
+    name = "noop"
+    value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+
+class _NoopGauge:
+    """Gauge twin whose updates are discarded."""
+
+    __slots__ = ()
+    name = "noop"
+    value = 0.0
+
+    def set(self, value: float) -> None:
+        pass
+
+    def set_max(self, value: float) -> None:
+        pass
+
+
+class _NoopHistogram:
+    """Histogram twin whose updates are discarded."""
+
+    __slots__ = ()
+    name = "noop"
+    count = 0
+    total = 0.0
+    min = None
+    max = None
+    mean = 0.0
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def percentile(self, q: float) -> float:
+        return 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+
+
+NOOP_COUNTER = _NoopCounter()
+NOOP_GAUGE = _NoopGauge()
+NOOP_HISTOGRAM = _NoopHistogram()
+
+
+class NoopMetricsRegistry:
+    """Registry twin handing out the shared no-op instruments."""
+
+    __slots__ = ()
+    counters: Dict[str, Counter] = {}
+    gauges: Dict[str, Gauge] = {}
+    histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> _NoopCounter:
+        return NOOP_COUNTER
+
+    def gauge(self, name: str) -> _NoopGauge:
+        return NOOP_GAUGE
+
+    def histogram(self, name: str) -> _NoopHistogram:
+        return NOOP_HISTOGRAM
+
+    def as_dict(self) -> Dict[str, Dict[str, object]]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+NOOP_METRICS = NoopMetricsRegistry()

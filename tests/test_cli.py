@@ -31,6 +31,59 @@ class TestParser:
             )
 
 
+class TestVersion:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "repro-fd" in out
+        assert any(ch.isdigit() for ch in out)
+
+
+class TestTrace:
+    def test_discover_trace_prints_tree(self, csv_path, capsys):
+        assert main(["discover", "--csv", csv_path, "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "discovery" in out
+        assert "sampling" in out
+        assert "validation" in out
+        assert "induction" in out
+        assert "ratio_decision" in out
+        assert "ms" in out
+
+    def test_discover_trace_out_writes_jsonl(self, csv_path, tmp_path, capsys):
+        import json
+
+        trace_path = tmp_path / "trace.jsonl"
+        assert main(
+            ["discover", "--csv", csv_path, "--trace-out", str(trace_path)]
+        ) == 0
+        records = [
+            json.loads(line)
+            for line in trace_path.read_text().splitlines()
+            if line.strip()
+        ]
+        names = {r.get("name") for r in records}
+        assert "ratio_decision" in names
+        cache_events = [
+            r
+            for r in records
+            if r["type"] == "event" and r["name"] == "partition_cache"
+        ]
+        assert cache_events and "hits" in cache_events[0]["attrs"]
+
+    def test_rank_trace(self, csv_path, capsys):
+        assert main(["rank", "--csv", csv_path, "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "ranking" in out
+        assert "redundancy" in out
+
+    def test_discover_trace_memory(self, csv_path, capsys):
+        assert main(["discover", "--csv", csv_path, "--trace-memory"]) == 0
+        assert "KiB" in capsys.readouterr().out
+
+
 class TestDiscover:
     def test_csv_input(self, csv_path, capsys):
         assert main(["discover", "--csv", csv_path]) == 0
