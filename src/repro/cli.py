@@ -20,6 +20,7 @@ from .algorithms.registry import algorithm_names, make_algorithm
 from .bench.tables import format_table
 from .covers.canonical import compare_covers
 from .datasets.benchmarks import benchmark_names, get_spec, load_benchmark
+from .partitions import kernels
 from .profiling.profiler import profile
 from .relational.io import read_csv, write_csv
 from .relational.null import NullSemantics
@@ -40,7 +41,15 @@ def package_version() -> str:
 
 
 def _load_input(args: argparse.Namespace) -> Relation:
-    """Resolve --csv / --benchmark inputs into a relation."""
+    """Resolve --csv / --benchmark inputs into a relation.
+
+    Also applies ``--backend`` (when the subcommand has it) as the
+    process-wide partition-kernel default, so every algorithm in the
+    invocation uses the chosen backend.
+    """
+    backend = getattr(args, "backend", None)
+    if backend is not None:
+        kernels.set_default_backend(backend)
     semantics = NullSemantics.parse(args.null_semantics)
     if args.csv:
         return read_csv(args.csv, semantics=semantics, max_rows=args.rows)
@@ -65,6 +74,13 @@ def _add_input_args(parser: argparse.ArgumentParser) -> None:
         default="eq",
         choices=["eq", "neq"],
         help="null=null (eq, default) or null!=null (neq)",
+    )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        choices=list(kernels.BACKENDS),
+        help="partition-kernel backend (default: %s, or $REPRO_FD_BACKEND)"
+        % kernels.get_default_backend(),
     )
 
 

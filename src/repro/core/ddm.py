@@ -13,11 +13,19 @@ partitions will pay off, :meth:`DynamicDataManager.update` refines each
 reusable node's current partition up to the node's full path, replaces
 the dynamic array, and rewrites node ids — copying each new id to the
 node's descendants so property (8) of extended FD-trees keeps holding.
+
+Lookup accounting distinguishes three outcomes: a *hit* resolves a
+dynamic id to its refined partition; a *singleton lookup* resolves an
+id below ``n_cols``, which denotes a singleton partition by design; a
+*stale fallback* is the only real cache failure — a dynamic id whose
+partition no longer matches the node's path (or is out of range), so
+the lookup degrades to the cheapest singleton.  Internal resolutions
+made by :meth:`update` while refining are not counted at all.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from ..fdtree.extended import ExtFDNode
 from ..partitions.stripped import StrippedPartition
@@ -29,27 +37,57 @@ from ..relational.relation import Relation
 class DynamicDataManager:
     """Manages singleton and dynamically refined stripped partitions."""
 
-    def __init__(self, relation: Relation):
+    def __init__(self, relation: Relation, backend: Optional[str] = None):
         self.relation = relation
+        self.backend = backend
         self.n_cols = relation.n_cols
         self.universal = StrippedPartition.universal(relation)
         self.singletons: List[StrippedPartition] = [
-            StrippedPartition.for_attribute(relation, attr)
+            StrippedPartition.for_attribute(relation, attr, backend=backend)
             for attr in range(relation.n_cols)
         ]
         self.dynamic: List[StrippedPartition] = []
         #: Number of Algorithm 3 runs (refinement rounds).
         self.update_count = 0
-        #: Lookup accounting: a hit is a node resolved to its dynamic
-        #: partition, a miss falls back to a singleton; an eviction is a
-        #: dynamic partition dropped by a refinement round.
+        #: Dynamic ids resolved to their refined partition.
         self.hits = 0
-        self.misses = 0
+        #: Ids below ``n_cols`` resolved to a singleton — by design,
+        #: not a cache failure.
+        self.singleton_lookups = 0
+        #: Dynamic ids that were stale (inconsistent or out of range)
+        #: and fell back to a singleton — the honest miss count.
+        self.stale_fallbacks = 0
+        #: Dynamic partitions dropped by refinement rounds.
         self.evictions = 0
+
+    @property
+    def misses(self) -> int:
+        """Real lookup failures: stale fallbacks only.
+
+        Singleton-id resolutions are by-design and tracked separately
+        in :attr:`singleton_lookups`.
+        """
+        return self.stale_fallbacks
 
     # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------
+
+    def _resolve(self, node: ExtFDNode) -> Tuple[StrippedPartition, str]:
+        """Resolve a node's id without touching the counters.
+
+        Returns the partition plus the resolution kind: ``"dynamic"``,
+        ``"singleton"`` (id below ``n_cols``, by design), or
+        ``"stale"`` (dynamic id inconsistent with the node's path).
+        """
+        if node.id >= self.n_cols:
+            index = node.id - self.n_cols
+            if index < len(self.dynamic):
+                partition = self.dynamic[index]
+                if attrset.is_subset(partition.attrs, node.path()):
+                    return partition, "dynamic"
+            return self.best_singleton(node.path()), "stale"
+        return self.best_singleton(node.path()), "singleton"
 
     def partition_for_node(self, node: ExtFDNode) -> StrippedPartition:
         """The partition a node's id denotes, with a consistency guard.
@@ -59,15 +97,14 @@ class DynamicDataManager:
         a stale inherited id), fall back to the cheapest singleton on
         the path, mirroring the paper's default-id escape hatch.
         """
-        if node.id >= self.n_cols:
-            index = node.id - self.n_cols
-            if index < len(self.dynamic):
-                partition = self.dynamic[index]
-                if attrset.is_subset(partition.attrs, node.path()):
-                    self.hits += 1
-                    return partition
-        self.misses += 1
-        return self.best_singleton(node.path())
+        partition, kind = self._resolve(node)
+        if kind == "dynamic":
+            self.hits += 1
+        elif kind == "singleton":
+            self.singleton_lookups += 1
+        else:
+            self.stale_fallbacks += 1
+        return partition
 
     def best_singleton(self, path: AttrSet) -> StrippedPartition:
         """The smallest-``||π_A||`` singleton partition with A on the path.
@@ -93,15 +130,17 @@ class DynamicDataManager:
         For each node the refinement starts from whatever its current
         id already denotes — a dynamic partition from the previous
         controlled level, or the best singleton — so work done at
-        earlier levels is reused, never repeated.
+        earlier levels is reused, never repeated.  These internal
+        resolutions bypass the lookup counters.
         """
         new_array: List[StrippedPartition] = []
         for node in nodes:
             path = node.path()
-            base = self.partition_for_node(node)
+            base, _ = self._resolve(node)
             partition = base.refine_many(
                 self.relation,
                 attrset.iter_attrs(attrset.difference(path, base.attrs)),
+                backend=self.backend,
             )
             new_array.append(partition)
             new_id = self.n_cols + len(new_array) - 1

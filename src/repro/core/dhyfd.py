@@ -41,6 +41,7 @@ class DHyFD(DiscoveryAlgorithm):
         time_limit: Optional[float] = None,
         enable_ddm_updates: bool = True,
         enable_initial_sampling: bool = True,
+        backend: Optional[str] = None,
     ):
         """Args:
             ratio_threshold: efficiency/inefficiency level above which
@@ -52,11 +53,15 @@ class DHyFD(DiscoveryAlgorithm):
                 one-shot sorted-neighborhood sample, so the first
                 FD-tree approximation comes from root validation alone
                 and every refinement burden falls on validation.
+            backend: partition-kernel backend (``"python"`` or
+                ``"numpy"``); ``None`` uses the process default (see
+                :mod:`repro.partitions.kernels`).
         """
         super().__init__(time_limit)
         self.ratio_threshold = ratio_threshold
         self.enable_ddm_updates = enable_ddm_updates
         self.enable_initial_sampling = enable_initial_sampling
+        self.backend = backend
 
     def _find_fds(
         self, relation: Relation, deadline: Deadline
@@ -66,7 +71,7 @@ class DHyFD(DiscoveryAlgorithm):
         n_cols = relation.n_cols
         all_attrs = attrset.full_set(n_cols)
 
-        ddm = DynamicDataManager(relation)
+        ddm = DynamicDataManager(relation, backend=self.backend)
         stats.partition_memory_peak_bytes = ddm.memory_bytes()
         tree = ExtendedFDTree(n_cols)
         tree.add_fd(attrset.EMPTY, all_attrs)
@@ -75,12 +80,15 @@ class DHyFD(DiscoveryAlgorithm):
         violations: Set[AttrSet] = set()
         if self.enable_initial_sampling:
             with tracer.span("sampling") as span:
-                violations |= initial_sample(relation, ddm.singletons)
+                violations |= initial_sample(
+                    relation, ddm.singletons, backend=self.backend
+                )
                 span.annotate(non_fds=len(violations))
         stats.sampled_non_fds = len(violations)
         with tracer.span("validation", level=0) as span:
             root_check = validate_fd(
-                relation, attrset.EMPTY, all_attrs, ddm.universal
+                relation, attrset.EMPTY, all_attrs, ddm.universal,
+                backend=self.backend,
             )
             span.annotate(comparisons=root_check.comparisons)
         stats.comparisons += root_check.comparisons
@@ -110,7 +118,8 @@ class DHyFD(DiscoveryAlgorithm):
                         continue
                     partition = ddm.partition_for_node(node)
                     outcome = validate_fd(
-                        relation, node.path(), node.rhs, partition
+                        relation, node.path(), node.rhs, partition,
+                        backend=self.backend,
                     )
                     stats.validations += 1
                     level_comparisons += outcome.comparisons
@@ -190,6 +199,8 @@ class DHyFD(DiscoveryAlgorithm):
             scope="ddm",
             hits=ddm.hits,
             misses=ddm.misses,
+            singleton_lookups=ddm.singleton_lookups,
+            stale_fallbacks=ddm.stale_fallbacks,
             evictions=ddm.evictions,
             entries=len(ddm.dynamic) + len(ddm.singletons) + 1,
             memory_bytes=ddm.memory_bytes(),

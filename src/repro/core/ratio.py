@@ -44,14 +44,27 @@ class LevelDecision:
 
     @property
     def inefficiency(self) -> float:
-        """Reusable nodes over FDs residing above this level."""
+        """Reusable nodes over FDs residing above this level.
+
+        Zero FDs above with reusable nodes present is *maximal*
+        inefficiency: partitions refined for those nodes could never be
+        consulted by a later validation, so the waste is unbounded.
+        """
         if self.fds_above <= 0:
-            return 0.0
+            return math.inf if self.reusable_nodes > 0 else 0.0
         return self.reusable_nodes / self.fds_above
 
     @property
     def ratio(self) -> float:
-        """efficiency / inefficiency; infinite when nothing is above."""
+        """efficiency / inefficiency; zero when no FDs live above.
+
+        With ``fds_above == 0`` a refresh cannot pay off regardless of
+        efficiency (there is nothing left to validate with the refined
+        partitions), so the ratio is pinned to 0.0 and
+        :meth:`should_update` never fires.
+        """
+        if self.fds_above <= 0:
+            return 0.0
         ineff = self.inefficiency
         if ineff == 0.0:
             return math.inf if self.efficiency > 0.0 else 0.0

@@ -26,6 +26,7 @@ class DiscoveryStats:
     partition_cache_hits: int = 0
     partition_cache_misses: int = 0
     partition_cache_evictions: int = 0
+    partition_singleton_lookups: int = 0
     strategy_switches: int = 0
     level_log: List[Dict[str, float]] = field(default_factory=list)
 
@@ -34,11 +35,15 @@ class DiscoveryStats:
 
         Accepts anything with ``hits``/``misses``/``evictions``
         attributes — :class:`~repro.partitions.cache.PartitionCache` or
-        the DHyFD :class:`~repro.core.ddm.DynamicDataManager`.
+        the DHyFD :class:`~repro.core.ddm.DynamicDataManager` (whose
+        by-design ``singleton_lookups`` are kept apart from misses).
         """
         self.partition_cache_hits = cache.hits
         self.partition_cache_misses = cache.misses
         self.partition_cache_evictions = cache.evictions
+        self.partition_singleton_lookups = getattr(
+            cache, "singleton_lookups", 0
+        )
 
 
 @dataclass

@@ -14,14 +14,20 @@ DHyFD samples only once, with window 1, before its first validation
 round (re-sampling "would only cause computational overheads", §IV-H).
 HyFD keeps the sampler around and grows the window whenever validation
 invalidates too many FDs.
+
+Agree-set computation goes through
+:mod:`repro.partitions.kernels` — the numpy backend compares a whole
+round's row pairs in one shot and packs the agreement bitmasks with
+``np.packbits``; the python backend is the per-pair reference.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence, Set, Tuple
+from typing import List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from ..partitions import kernels
 from ..partitions.stripped import StrippedPartition
 from ..relational import attrset
 from ..relational.attrset import AttrSet
@@ -48,16 +54,24 @@ class SampleStats:
 class AgreeSetSampler:
     """Progressive sorted-neighborhood sampler over singleton partitions."""
 
-    def __init__(self, relation: Relation, partitions: Sequence[StrippedPartition]):
+    def __init__(
+        self,
+        relation: Relation,
+        partitions: Sequence[StrippedPartition],
+        backend: Optional[str] = None,
+    ):
         self.relation = relation
+        self.backend = backend
         self.matrix = relation.matrix()
         self._full = attrset.full_set(relation.n_cols)
         #: Per-attribute clusters with rows pre-sorted by full row content.
-        self._sorted_clusters: List[List[List[int]]] = []
+        self._sorted_clusters: List[List[np.ndarray]] = []
         row_keys = [row.tobytes() for row in self.matrix]
         for partition in partitions:
             clusters = [
-                sorted(cluster, key=lambda row: row_keys[row])
+                np.asarray(
+                    sorted(cluster, key=lambda row: row_keys[row]), dtype=np.int64
+                )
                 for cluster in partition.clusters
             ]
             self._sorted_clusters.append(clusters)
@@ -76,11 +90,15 @@ class AgreeSetSampler:
         new_sets: Set[AttrSet] = set()
         for attr, clusters in enumerate(self._sorted_clusters):
             window = self._windows[attr]
-            for cluster in clusters:
-                for i in range(len(cluster) - window):
-                    row_a, row_b = cluster[i], cluster[i + window]
-                    stats.comparisons += 1
-                    agree = self._agree_mask(row_a, row_b)
+            rows_a = [c[:-window] for c in clusters if len(c) > window]
+            if rows_a:
+                rows_b = [c[window:] for c in clusters if len(c) > window]
+                pairs_a = np.concatenate(rows_a)
+                pairs_b = np.concatenate(rows_b)
+                stats.comparisons += len(pairs_a)
+                for agree in kernels.agree_masks(
+                    self.matrix, pairs_a, pairs_b, backend=self.backend
+                ):
                     if agree != self._full and agree not in self.seen:
                         # duplicate rows agree everywhere — a trivial
                         # "non-FD" that cannot invalidate anything
@@ -99,40 +117,36 @@ class AgreeSetSampler:
         return True
 
     def _agree_mask(self, row_a: int, row_b: int) -> AttrSet:
-        equal = self.matrix[row_a] == self.matrix[row_b]
-        mask = attrset.EMPTY
-        for col in np.nonzero(equal)[0]:
-            mask = attrset.add(mask, int(col))
-        return mask
+        """Agree set of one row pair (kept as the single-pair interface)."""
+        return kernels.agree_masks(
+            self.matrix,
+            np.asarray([row_a], dtype=np.int64),
+            np.asarray([row_b], dtype=np.int64),
+            backend=self.backend,
+        )[0]
 
 
 def initial_sample(
-    relation: Relation, partitions: Sequence[StrippedPartition]
+    relation: Relation,
+    partitions: Sequence[StrippedPartition],
+    backend: Optional[str] = None,
 ) -> Set[AttrSet]:
     """DHyFD's one-shot wide sample: a single window-1 round."""
-    sampler = AgreeSetSampler(relation, partitions)
+    sampler = AgreeSetSampler(relation, partitions, backend=backend)
     agree_sets, _ = sampler.sample_round()
     return agree_sets
 
 
-def all_agree_sets(relation: Relation) -> Set[AttrSet]:
+def all_agree_sets(
+    relation: Relation, backend: Optional[str] = None
+) -> Set[AttrSet]:
     """The exact agree-set cover from *all* distinct row pairs.
 
     This is FDEP's quadratic negative-cover computation; only viable on
     relations with modest row counts.  Trivial full-schema agree sets
     from duplicate rows are dropped (they imply no non-FD).
     """
-    matrix = relation.matrix()
-    n_rows = relation.n_rows
     full = attrset.full_set(relation.n_cols)
-    agree_sets: Set[AttrSet] = set()
-    for i in range(n_rows):
-        row_i = matrix[i]
-        for j in range(i + 1, n_rows):
-            equal = row_i == matrix[j]
-            mask = attrset.EMPTY
-            for col in np.nonzero(equal)[0]:
-                mask = attrset.add(mask, int(col))
-            if mask != full:
-                agree_sets.add(mask)
+    agree_sets = kernels.pairwise_agree_sets(relation.matrix(), backend=backend)
+    agree_sets.discard(full)
     return agree_sets

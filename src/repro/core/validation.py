@@ -12,11 +12,12 @@ single invalid FD, which is exactly what synergized induction wants.
 
 from __future__ import annotations
 
-from typing import List, Set
+from typing import List, Optional, Set
 
 import numpy as np
 
-from ..partitions.stripped import Cluster, StrippedPartition, refine_cluster
+from ..partitions import kernels
+from ..partitions.stripped import Cluster, StrippedPartition
 from ..relational import attrset
 from ..relational.attrset import AttrSet
 from ..relational.relation import Relation
@@ -41,11 +42,13 @@ def validate_fd(
     lhs: AttrSet,
     rhs: AttrSet,
     partition: StrippedPartition,
+    backend: Optional[str] = None,
 ) -> ValidationResult:
     """Validate ``lhs -> rhs`` using ``partition`` = π_X' with X' ⊆ lhs.
 
     Returns the surviving RHS attributes and the agree-set non-FDs of
-    every violating pair encountered before the early exit.
+    every violating pair encountered before the early exit.  ``backend``
+    selects the kernel backend for the per-cluster refinement step.
     """
     if not attrset.is_subset(partition.attrs, lhs):
         raise ValueError(
@@ -65,14 +68,12 @@ def validate_fd(
     chunk_size = 64
 
     for source_cluster in partition.clusters:
-        clusters = [source_cluster]
-        for codes in missing_codes:
-            next_clusters: List[Cluster] = []
-            for cluster in clusters:
-                next_clusters.extend(refine_cluster(codes, cluster))
-            clusters = next_clusters
-            if not clusters:
-                break
+        if missing_codes:
+            clusters: List[Cluster] = kernels.refine_clusters(
+                missing_codes, [source_cluster], backend=backend
+            )
+        else:
+            clusters = [source_cluster]
         for cluster in clusters:
             pivot = matrix[cluster[0]]
             for start in range(1, len(cluster), chunk_size):
@@ -94,14 +95,16 @@ def validate_fd(
     return ValidationResult(valid_rhs, non_fds, comparisons)
 
 
-def check_fd(relation: Relation, lhs: AttrSet, rhs: AttrSet) -> bool:
+def check_fd(
+    relation: Relation, lhs: AttrSet, rhs: AttrSet, backend: Optional[str] = None
+) -> bool:
     """Ground-truth check that ``lhs -> rhs`` holds, from scratch.
 
     Builds ``π_lhs`` directly; used by tests and the brute-force oracle
     rather than the discovery loop.
     """
-    partition = StrippedPartition.for_attrs(relation, lhs)
+    partition = StrippedPartition.for_attrs(relation, lhs, backend=backend)
     for attr in attrset.iter_attrs(rhs):
-        if not partition.refines_attribute(relation, attr):
+        if not partition.refines_attribute(relation, attr, backend=backend):
             return False
     return True

@@ -1,6 +1,25 @@
-"""Stripped partitions: construction, refinement, products, caching."""
+"""Stripped partitions: construction, refinement, products, caching, kernels."""
 
+from . import kernels
 from .cache import PartitionCache
+from .kernels import (
+    BACKENDS,
+    get_default_backend,
+    resolve_backend,
+    set_default_backend,
+    use_backend,
+)
 from .stripped import Cluster, StrippedPartition, refine_cluster
 
-__all__ = ["Cluster", "PartitionCache", "StrippedPartition", "refine_cluster"]
+__all__ = [
+    "BACKENDS",
+    "Cluster",
+    "PartitionCache",
+    "StrippedPartition",
+    "get_default_backend",
+    "kernels",
+    "refine_cluster",
+    "resolve_backend",
+    "set_default_backend",
+    "use_backend",
+]

@@ -1,0 +1,489 @@
+"""Backend-switchable kernels for the partition and agree-set hot paths.
+
+Every discovery algorithm in this library bottoms out in four array
+operations: grouping rows by codes (partition construction), splitting
+existing clusters by more codes (Algorithm 5 refinement), the TANE
+partition product, and agree-set computation over row pairs.  This
+module implements each operation twice:
+
+* ``backend="python"`` — the original per-row dict/loop reference
+  implementations, kept as the differential-testing oracle;
+* ``backend="numpy"`` — vectorized implementations over flat row-index
+  arrays (``lexsort`` grouping, ``reduceat`` reductions, ``packbits``
+  bitmask packing) that do O(rows) work in C instead of Python.
+
+Both backends return *identical* results: cluster lists are emitted in
+a canonical order (sorted by each cluster's first row index, with rows
+inside a cluster in ascending order, assuming ascending inputs), and
+agree sets are plain :class:`~repro.relational.attrset.AttrSet` ints.
+``tests/test_kernels_differential.py`` cross-checks the two backends on
+randomized relations under both null semantics.
+
+The process-wide default backend is ``numpy``; it can be overridden
+with the ``REPRO_FD_BACKEND`` environment variable, per call via the
+``backend=`` keyword, or globally via :func:`set_default_backend`
+(the CLI's ``--backend`` flag does the latter).
+
+When telemetry is enabled (:func:`repro.telemetry.current_tracer`),
+every kernel call records a ``kernels.<op>.<backend>`` counter and a
+seconds histogram, so traces show exactly where partition time goes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import time
+from typing import List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..relational.attrset import AttrSet
+from ..telemetry import current_tracer
+
+Cluster = List[int]
+
+#: Recognized backend names, in reference-first order.
+BACKENDS = ("python", "numpy")
+
+_default_backend = os.environ.get("REPRO_FD_BACKEND", "numpy")
+if _default_backend not in BACKENDS:
+    raise ValueError(
+        f"REPRO_FD_BACKEND must be one of {BACKENDS}, got {_default_backend!r}"
+    )
+
+
+def get_default_backend() -> str:
+    """The backend used when a kernel is called with ``backend=None``."""
+    return _default_backend
+
+
+def set_default_backend(backend: str) -> str:
+    """Set the process-wide default backend; returns the previous one."""
+    global _default_backend
+    backend = resolve_backend(backend)
+    previous = _default_backend
+    _default_backend = backend
+    return previous
+
+
+def resolve_backend(backend: Optional[str]) -> str:
+    """Validate ``backend``, mapping ``None`` to the current default."""
+    if backend is None:
+        return _default_backend
+    if backend not in BACKENDS:
+        raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+    return backend
+
+
+class use_backend:
+    """Context manager that temporarily switches the default backend."""
+
+    def __init__(self, backend: str):
+        self.backend = resolve_backend(backend)
+        self._previous: Optional[str] = None
+
+    def __enter__(self) -> str:
+        self._previous = set_default_backend(self.backend)
+        return self.backend
+
+    def __exit__(self, *exc_info) -> None:
+        assert self._previous is not None
+        set_default_backend(self._previous)
+
+
+def _record(tracer, op: str, backend: str, seconds: float) -> None:
+    metrics = tracer.metrics
+    metrics.counter(f"kernels.{op}.{backend}.calls").inc()
+    metrics.histogram(f"kernels.{op}.{backend}.seconds").observe(seconds)
+
+
+def _canonical(clusters: List[Cluster]) -> List[Cluster]:
+    """Order clusters by their first row so backends agree exactly."""
+    clusters.sort(key=lambda cluster: cluster[0])
+    return clusters
+
+
+def _flatten(
+    clusters: Sequence[Cluster], dtype=np.int64
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Flatten cluster lists into flat (rows, cluster-ids) arrays."""
+    lengths = np.fromiter(
+        (len(c) for c in clusters), dtype=np.int64, count=len(clusters)
+    )
+    rows = np.fromiter(
+        itertools.chain.from_iterable(clusters),
+        dtype=dtype,
+        count=int(lengths.sum()),
+    )
+    cids = np.repeat(np.arange(len(clusters), dtype=dtype), lengths)
+    return rows, cids
+
+
+def _emit(srows: np.ndarray, starts: np.ndarray, ends: np.ndarray) -> List[Cluster]:
+    """Slice sorted rows into clusters, already in canonical order.
+
+    Reorders the (start, end) group bounds by each group's first row —
+    groups are disjoint so first rows are unique — then does one bulk
+    ``tolist`` and cheap Python-list slicing per group.
+    """
+    if len(starts) == 0:
+        return []
+    order = np.argsort(srows[starts], kind="stable")
+    starts_list = starts[order].tolist()
+    ends_list = ends[order].tolist()
+    rows_list = srows.tolist()
+    return [rows_list[s:e] for s, e in zip(starts_list, ends_list)]
+
+
+# ----------------------------------------------------------------------
+# Grouping: all rows by one code array (π_A construction)
+# ----------------------------------------------------------------------
+
+
+def group_rows(codes: np.ndarray, backend: Optional[str] = None) -> List[Cluster]:
+    """Group all rows by ``codes``; clusters of size >= 2, canonical order."""
+    backend = resolve_backend(backend)
+    impl = _group_rows_numpy if backend == "numpy" else _group_rows_python
+    tracer = current_tracer()
+    if not tracer.enabled:
+        return impl(codes)
+    start = time.perf_counter()
+    result = impl(codes)
+    _record(tracer, "group", backend, time.perf_counter() - start)
+    return result
+
+
+def _group_rows_python(codes: np.ndarray) -> List[Cluster]:
+    buckets: dict = {}
+    for row in range(len(codes)):
+        code = int(codes[row])
+        bucket = buckets.get(code)
+        if bucket is None:
+            buckets[code] = [row]
+        else:
+            bucket.append(row)
+    return _canonical([b for b in buckets.values() if len(b) >= 2])
+
+
+def _group_rows_numpy(codes: np.ndarray) -> List[Cluster]:
+    if len(codes) < 2:
+        return []
+    order = np.argsort(codes, kind="stable")
+    sorted_codes = codes[order]
+    boundaries = np.nonzero(np.diff(sorted_codes))[0] + 1
+    starts = np.concatenate(([0], boundaries))
+    ends = np.concatenate((boundaries, [len(order)]))
+    keep = np.nonzero(ends - starts >= 2)[0]
+    return _emit(order, starts[keep], ends[keep])
+
+
+# ----------------------------------------------------------------------
+# Refinement: split clusters by one or more code arrays (Algorithm 5)
+# ----------------------------------------------------------------------
+
+
+def refine_clusters(
+    codes_list: Sequence[np.ndarray],
+    clusters: Sequence[Cluster],
+    backend: Optional[str] = None,
+) -> List[Cluster]:
+    """Split every cluster by the codes of one or more attributes.
+
+    Rows that end up alone are stripped; the surviving clusters come
+    back in canonical order.  ``codes_list`` may hold several code
+    arrays — the numpy backend then groups by the full key tuple in a
+    single ``lexsort`` pass instead of refining attribute by attribute.
+    """
+    backend = resolve_backend(backend)
+    impl = (
+        _refine_clusters_numpy if backend == "numpy" else _refine_clusters_python
+    )
+    tracer = current_tracer()
+    if not tracer.enabled:
+        return impl(codes_list, clusters)
+    start = time.perf_counter()
+    result = impl(codes_list, clusters)
+    _record(tracer, "refine", backend, time.perf_counter() - start)
+    return result
+
+
+def _refine_clusters_python(
+    codes_list: Sequence[np.ndarray], clusters: Sequence[Cluster]
+) -> List[Cluster]:
+    result: List[Cluster] = [list(c) for c in clusters]
+    for codes in codes_list:
+        next_clusters: List[Cluster] = []
+        for cluster in result:
+            buckets: dict = {}
+            for row in cluster:
+                code = int(codes[row])
+                bucket = buckets.get(code)
+                if bucket is None:
+                    buckets[code] = [row]
+                else:
+                    bucket.append(row)
+            next_clusters.extend(
+                bucket for bucket in buckets.values() if len(bucket) >= 2
+            )
+        result = next_clusters
+        if not result:
+            break
+    return _canonical(result)
+
+
+def _refine_clusters_numpy(
+    codes_list: Sequence[np.ndarray], clusters: Sequence[Cluster]
+) -> List[Cluster]:
+    if not clusters:
+        return []
+    if not codes_list:
+        return _canonical([list(c) for c in clusters])
+    rows, cids = _flatten(clusters)
+    keys = [codes[rows] for codes in codes_list]
+    # lexsort's last key is primary: cluster id first, then the codes.
+    order = np.lexsort(tuple(keys) + (cids,))
+    srows = rows[order]
+    scids = cids[order]
+    change = scids[1:] != scids[:-1]
+    for key in keys:
+        skey = key[order]
+        change |= skey[1:] != skey[:-1]
+    boundaries = np.nonzero(change)[0] + 1
+    starts = np.concatenate(([0], boundaries))
+    ends = np.concatenate((boundaries, [len(srows)]))
+    keep = np.nonzero(ends - starts >= 2)[0]
+    return _emit(srows, starts[keep], ends[keep])
+
+
+# ----------------------------------------------------------------------
+# Partition product (TANE's π_X ∩ π_Y)
+# ----------------------------------------------------------------------
+
+
+def intersect_clusters(
+    n_rows: int,
+    left: Sequence[Cluster],
+    right: Sequence[Cluster],
+    backend: Optional[str] = None,
+) -> List[Cluster]:
+    """The probe-table partition product of two cluster lists."""
+    backend = resolve_backend(backend)
+    impl = (
+        _intersect_clusters_numpy if backend == "numpy" else _intersect_clusters_python
+    )
+    tracer = current_tracer()
+    if not tracer.enabled:
+        return impl(n_rows, left, right)
+    start = time.perf_counter()
+    result = impl(n_rows, left, right)
+    _record(tracer, "intersect", backend, time.perf_counter() - start)
+    return result
+
+
+def _intersect_clusters_python(
+    n_rows: int, left: Sequence[Cluster], right: Sequence[Cluster]
+) -> List[Cluster]:
+    tag = np.full(n_rows, -1, dtype=np.int64)
+    for cluster_id, cluster in enumerate(left):
+        for row in cluster:
+            tag[row] = cluster_id
+    new_clusters: List[Cluster] = []
+    for cluster in right:
+        groups: dict = {}
+        for row in cluster:
+            t = tag[row]
+            if t >= 0:
+                groups.setdefault(int(t), []).append(row)
+        for group in groups.values():
+            if len(group) >= 2:
+                new_clusters.append(group)
+    return _canonical(new_clusters)
+
+
+def _intersect_clusters_numpy(
+    n_rows: int, left: Sequence[Cluster], right: Sequence[Cluster]
+) -> List[Cluster]:
+    if not left or not right:
+        return []
+    # int32 keys make the radix sort roughly twice as cheap; fall back
+    # to int64 when the composite (cid, tag) key could overflow.
+    if n_rows < 2**31 and len(left) * len(right) < 2**31:
+        dtype = np.int32
+    else:
+        dtype = np.int64
+    tag = np.full(n_rows, -1, dtype=dtype)
+    left_rows, left_cids = _flatten(left, dtype)
+    tag[left_rows] = left_cids
+    rows, cids = _flatten(right, dtype)
+    tags = tag[rows]
+    if tags.min(initial=0) < 0:
+        valid = tags >= 0
+        rows, cids, tags = rows[valid], cids[valid], tags[valid]
+    if len(rows) < 2:
+        return []
+    # single composite key: (cid, tag) packed into one integer.
+    key = cids * dtype(len(left)) + tags
+    order = np.argsort(key, kind="stable")
+    srows = rows[order]
+    skey = key[order]
+    boundaries = np.nonzero(skey[1:] != skey[:-1])[0] + 1
+    starts = np.concatenate(([0], boundaries))
+    ends = np.concatenate((boundaries, [len(srows)]))
+    keep = np.nonzero(ends - starts >= 2)[0]
+    return _emit(srows, starts[keep], ends[keep])
+
+
+# ----------------------------------------------------------------------
+# Constant-per-cluster check (FD verification π_X refines A)
+# ----------------------------------------------------------------------
+
+
+def clusters_constant_on(
+    codes: np.ndarray,
+    clusters: Sequence[Cluster],
+    backend: Optional[str] = None,
+) -> bool:
+    """True iff every cluster holds a single code value of ``codes``."""
+    backend = resolve_backend(backend)
+    impl = (
+        _clusters_constant_on_numpy
+        if backend == "numpy"
+        else _clusters_constant_on_python
+    )
+    tracer = current_tracer()
+    if not tracer.enabled:
+        return impl(codes, clusters)
+    start = time.perf_counter()
+    result = impl(codes, clusters)
+    _record(tracer, "constant", backend, time.perf_counter() - start)
+    return result
+
+
+def _clusters_constant_on_python(
+    codes: np.ndarray, clusters: Sequence[Cluster]
+) -> bool:
+    for cluster in clusters:
+        first = codes[cluster[0]]
+        for row in cluster[1:]:
+            if codes[row] != first:
+                return False
+    return True
+
+
+def _clusters_constant_on_numpy(
+    codes: np.ndarray, clusters: Sequence[Cluster]
+) -> bool:
+    if not clusters:
+        return True
+    lengths = np.fromiter(
+        (len(c) for c in clusters), dtype=np.int64, count=len(clusters)
+    )
+    rows = np.concatenate([np.asarray(c, dtype=np.int64) for c in clusters])
+    starts = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+    values = codes[rows]
+    mins = np.minimum.reduceat(values, starts)
+    maxs = np.maximum.reduceat(values, starts)
+    return bool(np.all(mins == maxs))
+
+
+# ----------------------------------------------------------------------
+# Agree sets (sampling and FDEP's negative cover)
+# ----------------------------------------------------------------------
+
+
+def agree_masks(
+    matrix: np.ndarray,
+    rows_a: np.ndarray,
+    rows_b: np.ndarray,
+    backend: Optional[str] = None,
+) -> List[AttrSet]:
+    """Agree-set bitmask of each row pair ``(rows_a[i], rows_b[i])``."""
+    backend = resolve_backend(backend)
+    impl = _agree_masks_numpy if backend == "numpy" else _agree_masks_python
+    tracer = current_tracer()
+    if not tracer.enabled:
+        return impl(matrix, rows_a, rows_b)
+    start = time.perf_counter()
+    result = impl(matrix, rows_a, rows_b)
+    _record(tracer, "agree", backend, time.perf_counter() - start)
+    return result
+
+
+def _agree_masks_python(
+    matrix: np.ndarray, rows_a: np.ndarray, rows_b: np.ndarray
+) -> List[AttrSet]:
+    masks: List[AttrSet] = []
+    for row_a, row_b in zip(rows_a, rows_b):
+        equal = matrix[row_a] == matrix[row_b]
+        mask = 0
+        for col in np.nonzero(equal)[0]:
+            mask |= 1 << int(col)
+        masks.append(mask)
+    return masks
+
+
+def _pack_bool_rows(equal: np.ndarray) -> List[AttrSet]:
+    """Turn an ``(n, n_cols)`` bool array into per-row bitmask ints."""
+    if equal.shape[0] == 0:
+        return []
+    packed = np.packbits(equal, axis=1, bitorder="little")
+    width = packed.shape[1]
+    data = packed.tobytes()
+    return [
+        int.from_bytes(data[i * width:(i + 1) * width], "little")
+        for i in range(equal.shape[0])
+    ]
+
+
+def _agree_masks_numpy(
+    matrix: np.ndarray, rows_a: np.ndarray, rows_b: np.ndarray
+) -> List[AttrSet]:
+    rows_a = np.asarray(rows_a, dtype=np.int64)
+    rows_b = np.asarray(rows_b, dtype=np.int64)
+    return _pack_bool_rows(matrix[rows_a] == matrix[rows_b])
+
+
+def pairwise_agree_sets(
+    matrix: np.ndarray, backend: Optional[str] = None
+) -> Set[AttrSet]:
+    """Distinct agree sets over *all* row pairs (FDEP's negative cover).
+
+    Full-schema masks from duplicate rows are included; callers that
+    need the non-trivial cover filter them out.
+    """
+    backend = resolve_backend(backend)
+    impl = (
+        _pairwise_agree_sets_numpy
+        if backend == "numpy"
+        else _pairwise_agree_sets_python
+    )
+    tracer = current_tracer()
+    if not tracer.enabled:
+        return impl(matrix)
+    start = time.perf_counter()
+    result = impl(matrix)
+    _record(tracer, "agree_all", backend, time.perf_counter() - start)
+    return result
+
+
+def _pairwise_agree_sets_python(matrix: np.ndarray) -> Set[AttrSet]:
+    n_rows = matrix.shape[0]
+    agree_sets: Set[AttrSet] = set()
+    for i in range(n_rows):
+        row_i = matrix[i]
+        for j in range(i + 1, n_rows):
+            equal = row_i == matrix[j]
+            mask = 0
+            for col in np.nonzero(equal)[0]:
+                mask |= 1 << int(col)
+            agree_sets.add(mask)
+    return agree_sets
+
+
+def _pairwise_agree_sets_numpy(matrix: np.ndarray) -> Set[AttrSet]:
+    n_rows = matrix.shape[0]
+    agree_sets: Set[AttrSet] = set()
+    for i in range(n_rows - 1):
+        agree_sets.update(_pack_bool_rows(matrix[i + 1:] == matrix[i]))
+    return agree_sets

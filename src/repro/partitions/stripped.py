@@ -6,7 +6,7 @@ The stripped partition ``π_X(r)`` is the set of X-equivalence classes of
 
 Three operations drive every algorithm in this library:
 
-* building ``π_A`` for a single attribute (vectorized with numpy),
+* building ``π_A`` for a single attribute,
 * the TANE partition *product* ``π_X ∩ π_Y = π_XY``, and
 * *refinement* ``refine(r, π_X, A) = π_XA`` (the paper's Algorithm 5),
   which splits each cluster by the DIIS codes of one more attribute.
@@ -14,6 +14,11 @@ Three operations drive every algorithm in this library:
 Refinement is the primitive that makes the dynamic data manager
 possible: it derives a finer partition from a coarser one without ever
 re-touching rows outside existing clusters.
+
+All of these bottom out in :mod:`repro.partitions.kernels`, which
+provides a per-row ``python`` reference backend and a vectorized
+``numpy`` backend; every operation takes an optional ``backend``
+argument (``None`` uses the process default).
 """
 
 from __future__ import annotations
@@ -25,6 +30,7 @@ import numpy as np
 from ..relational import attrset
 from ..relational.attrset import AttrSet
 from ..relational.relation import Relation
+from . import kernels
 
 Cluster = List[int]
 
@@ -45,6 +51,17 @@ class StrippedPartition:
         self.clusters: List[Cluster] = [list(c) for c in clusters]
         self.n_rows = n_rows
 
+    @classmethod
+    def _from_kernel(
+        cls, attrs: AttrSet, clusters: List[Cluster], n_rows: int
+    ) -> "StrippedPartition":
+        """Adopt freshly built cluster lists without the defensive copy."""
+        partition = cls.__new__(cls)
+        partition.attrs = attrs
+        partition.clusters = clusters
+        partition.n_rows = n_rows
+        return partition
+
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
@@ -56,34 +73,31 @@ class StrippedPartition:
             clusters = [list(range(relation.n_rows))]
         else:
             clusters = []
-        return cls(attrset.EMPTY, clusters, relation.n_rows)
+        return cls._from_kernel(attrset.EMPTY, clusters, relation.n_rows)
 
     @classmethod
-    def for_attribute(cls, relation: Relation, attr: int) -> "StrippedPartition":
+    def for_attribute(
+        cls, relation: Relation, attr: int, backend: Optional[str] = None
+    ) -> "StrippedPartition":
         """Build ``π_A`` by grouping rows on the column's DIIS codes."""
-        codes = relation.codes(attr)
-        if len(codes) == 0:
-            return cls(attrset.singleton(attr), [], 0)
-        order = np.argsort(codes, kind="stable")
-        sorted_codes = codes[order]
-        boundaries = np.nonzero(np.diff(sorted_codes))[0] + 1
-        clusters = [
-            group.tolist()
-            for group in np.split(order, boundaries)
-            if len(group) >= 2
-        ]
-        return cls(attrset.singleton(attr), clusters, relation.n_rows)
+        clusters = kernels.group_rows(relation.codes(attr), backend=backend)
+        return cls._from_kernel(attrset.singleton(attr), clusters, relation.n_rows)
 
     @classmethod
-    def for_attrs(cls, relation: Relation, attrs: AttrSet) -> "StrippedPartition":
-        """Build ``π_X`` for arbitrary ``X`` by iterated refinement."""
+    def for_attrs(
+        cls, relation: Relation, attrs: AttrSet, backend: Optional[str] = None
+    ) -> "StrippedPartition":
+        """Build ``π_X`` for arbitrary ``X`` in one multi-key grouping pass."""
         members = attrset.to_list(attrs)
         if not members:
             return cls.universal(relation)
-        partition = cls.for_attribute(relation, members[0])
-        for attr in members[1:]:
-            partition = partition.refine(relation, attr)
-        return partition
+        base = cls.universal(relation)
+        clusters = kernels.refine_clusters(
+            [relation.codes(attr) for attr in members],
+            base.clusters,
+            backend=backend,
+        )
+        return cls._from_kernel(attrs, clusters, relation.n_rows)
 
     # ------------------------------------------------------------------
     # Measures
@@ -128,65 +142,67 @@ class StrippedPartition:
     # Refinement (Algorithm 5) and product
     # ------------------------------------------------------------------
 
-    def refine(self, relation: Relation, attr: int) -> "StrippedPartition":
+    def refine(
+        self, relation: Relation, attr: int, backend: Optional[str] = None
+    ) -> "StrippedPartition":
         """``π_XA`` from ``π_X``: split every cluster on attribute codes."""
-        codes = relation.codes(attr)
-        new_clusters: List[Cluster] = []
-        for cluster in self.clusters:
-            new_clusters.extend(refine_cluster(codes, cluster))
-        return StrippedPartition(
-            attrset.add(self.attrs, attr), new_clusters, self.n_rows
+        clusters = kernels.refine_clusters(
+            [relation.codes(attr)], self.clusters, backend=backend
+        )
+        return StrippedPartition._from_kernel(
+            attrset.add(self.attrs, attr), clusters, self.n_rows
         )
 
-    def refine_many(self, relation: Relation, attrs: Iterable[int]) -> "StrippedPartition":
-        """Refine by several attributes in sequence."""
-        partition = self
-        for attr in attrs:
-            partition = partition.refine(relation, attr)
-        return partition
+    def refine_many(
+        self,
+        relation: Relation,
+        attrs: Iterable[int],
+        backend: Optional[str] = None,
+    ) -> "StrippedPartition":
+        """Refine by several attributes in one kernel pass."""
+        attr_list = list(attrs)
+        if not attr_list:
+            return self
+        clusters = kernels.refine_clusters(
+            [relation.codes(attr) for attr in attr_list],
+            self.clusters,
+            backend=backend,
+        )
+        return StrippedPartition._from_kernel(
+            self.attrs | attrset.from_attrs(attr_list), clusters, self.n_rows
+        )
 
-    def intersect(self, other: "StrippedPartition") -> "StrippedPartition":
+    def intersect(
+        self, other: "StrippedPartition", backend: Optional[str] = None
+    ) -> "StrippedPartition":
         """TANE's partition product: ``π_X ∩ π_Y = π_{X∪Y}``.
 
         Implements the classic probe-table algorithm: rows are tagged
         with their cluster id in ``self``; rows of each ``other``
         cluster are then grouped by that tag.
         """
-        tag = np.full(self.n_rows, -1, dtype=np.int64)
-        for cluster_id, cluster in enumerate(self.clusters):
-            for row in cluster:
-                tag[row] = cluster_id
-        new_clusters: List[Cluster] = []
-        for cluster in other.clusters:
-            groups: dict = {}
-            for row in cluster:
-                t = tag[row]
-                if t >= 0:
-                    groups.setdefault(int(t), []).append(row)
-            for group in groups.values():
-                if len(group) >= 2:
-                    new_clusters.append(group)
-        return StrippedPartition(
-            self.attrs | other.attrs, new_clusters, self.n_rows
+        clusters = kernels.intersect_clusters(
+            self.n_rows, self.clusters, other.clusters, backend=backend
+        )
+        return StrippedPartition._from_kernel(
+            self.attrs | other.attrs, clusters, self.n_rows
         )
 
     # ------------------------------------------------------------------
     # FD checks
     # ------------------------------------------------------------------
 
-    def refines_attribute(self, relation: Relation, attr: int) -> bool:
+    def refines_attribute(
+        self, relation: Relation, attr: int, backend: Optional[str] = None
+    ) -> bool:
         """True iff the FD ``X -> attr`` holds on ``relation``.
 
         Holds exactly when every cluster of ``π_X`` is constant on the
         attribute's codes.
         """
-        codes = relation.codes(attr)
-        for cluster in self.clusters:
-            first = codes[cluster[0]]
-            for row in cluster[1:]:
-                if codes[row] != first:
-                    return False
-        return True
+        return kernels.clusters_constant_on(
+            relation.codes(attr), self.clusters, backend=backend
+        )
 
 
 def refine_cluster(codes: np.ndarray, cluster: Cluster) -> List[Cluster]:
@@ -194,7 +210,9 @@ def refine_cluster(codes: np.ndarray, cluster: Cluster) -> List[Cluster]:
 
     The paper indexes a pre-allocated ``sets_array`` by code; a dict
     keyed by code plays the same role here without the O(|r|) clearing
-    pass, while keeping the per-tuple work constant.
+    pass.  This is the per-row reference primitive behind the kernels'
+    ``python`` backend; hot paths call
+    :func:`repro.partitions.kernels.refine_clusters` instead.
     """
     buckets: dict = {}
     for row in cluster:

@@ -36,8 +36,11 @@ class EncodedColumn:
         codes: dense int codes, one per row (``np.int64``).
         null_mask: True where the original value was a null marker.
         cardinality: number of distinct codes (``max(codes) + 1``).
-        decoder: code -> original value, for non-null codes.  Under
-            ``NEQ`` semantics null codes are not present in the decoder.
+        decoder: code -> original value; null codes decode to ``None``.
+            Under ``EQ`` semantics all nulls share one ``None`` entry;
+            under ``NEQ`` :func:`encode_column` appends a separate
+            ``None`` entry per null occurrence, so the decoder always
+            covers every code (``len(decoder) == cardinality``).
     """
 
     codes: np.ndarray

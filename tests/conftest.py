@@ -2,11 +2,43 @@
 
 from __future__ import annotations
 
+import random
+
 import pytest
 
-from repro.relational.null import NULL
+from repro.datasets.synthetic import random_relation
+from repro.relational.null import NULL, NullSemantics
 from repro.relational.relation import Relation
 from repro.relational.schema import RelationSchema
+
+
+def make_random_relation(seed: int, semantics=NullSemantics.EQ) -> Relation:
+    """A seeded random relation with a randomized regime.
+
+    Shape, per-column cardinality, and null rate are all drawn from the
+    seed, so a range of seeds covers wide/narrow, dense/sparse, and
+    null-heavy relations.  Used by the kernel differential tests to
+    cross-check the python and numpy backends.
+    """
+    rng = random.Random(seed)
+    n_rows = rng.choice([2, 3, 10, 40, 120])
+    n_cols = rng.randint(1, 6)
+    domains = [rng.choice([1, 2, 3, 8, n_rows]) for _ in range(n_cols)]
+    null_rate = rng.choice([0.0, 0.0, 0.1, 0.4])
+    return random_relation(
+        n_rows,
+        n_cols,
+        domain_sizes=domains,
+        null_rate=null_rate,
+        seed=seed,
+        semantics=semantics,
+    )
+
+
+@pytest.fixture
+def random_relation_factory():
+    """Factory fixture wrapping :func:`make_random_relation`."""
+    return make_random_relation
 
 
 @pytest.fixture

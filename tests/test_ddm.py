@@ -58,6 +58,54 @@ class TestLookup:
         assert partition.attrs == attrset.singleton(1)
 
 
+class TestAccounting:
+    """Regression: lookup counters must not conflate by-design
+    singleton-id resolutions with real stale fallbacks, and internal
+    resolutions made by update() must not count at all."""
+
+    def test_singleton_id_counts_as_singleton_lookup(self, city_relation):
+        ddm = DynamicDataManager(city_relation)
+        tree = ExtendedFDTree(city_relation.n_cols)
+        node = tree.add_fd(A(1, 2), A(3))
+        ddm.partition_for_node(node)
+        assert ddm.singleton_lookups == 1
+        assert ddm.hits == 0
+        assert ddm.stale_fallbacks == 0
+        assert ddm.misses == 0
+
+    def test_dynamic_id_counts_as_hit(self, city_relation):
+        ddm = DynamicDataManager(city_relation)
+        tree = ExtendedFDTree(city_relation.n_cols)
+        end = tree.add_fd(A(1, 2), A(3))
+        ddm.update([end])
+        ddm.partition_for_node(end)
+        assert ddm.hits == 1
+        assert ddm.singleton_lookups == 0
+        assert ddm.stale_fallbacks == 0
+
+    def test_stale_id_counts_as_fallback(self, city_relation):
+        ddm = DynamicDataManager(city_relation)
+        ddm.dynamic = [StrippedPartition.for_attribute(city_relation, 3)]
+        tree = ExtendedFDTree(city_relation.n_cols)
+        node = tree.add_fd(A(1, 2), A(0))
+        node.id = city_relation.n_cols  # points at π_3, not ⊆ {1,2}
+        ddm.partition_for_node(node)
+        assert ddm.stale_fallbacks == 1
+        assert ddm.misses == 1
+        assert ddm.hits == 0
+        assert ddm.singleton_lookups == 0
+
+    def test_update_does_not_inflate_counters(self, city_relation):
+        ddm = DynamicDataManager(city_relation)
+        tree = ExtendedFDTree(city_relation.n_cols)
+        end = tree.add_fd(A(1, 2), A(3))
+        ddm.update([end])
+        ddm.update([end])  # second round resolves the dynamic id again
+        assert ddm.hits == 0
+        assert ddm.singleton_lookups == 0
+        assert ddm.stale_fallbacks == 0
+
+
 class TestUpdate:
     def test_update_refines_to_paths(self, city_relation):
         ddm = DynamicDataManager(city_relation)

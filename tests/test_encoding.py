@@ -55,6 +55,17 @@ class TestEncodeColumn:
         col = encode_column(["None", NULL], NullSemantics.EQ)
         assert col.codes[0] != col.codes[1]
 
+    def test_neq_decoder_covers_every_null_code(self):
+        # Regression: the docstring used to claim NEQ null codes are
+        # absent from the decoder; encode_column actually appends one
+        # None entry per null occurrence.
+        col = encode_column([NULL, "x", NULL, "y"], NullSemantics.NEQ)
+        assert len(col.decoder) == col.cardinality
+        for code in col.codes[col.null_mask].tolist():
+            assert col.decode(int(code)) is None
+        decoded = [col.decode(int(c)) for c in col.codes]
+        assert decoded == [None, "x", None, "y"]
+
 
 class TestReencodeDense:
     def test_gap_compaction(self):

@@ -1,0 +1,219 @@
+"""Differential tests: python vs numpy partition kernels.
+
+Every kernel operation is cross-checked on seeded random relations
+(regimes drawn in ``conftest.make_random_relation``) under both null
+semantics, plus hand-built edge cases: the empty relation, a single
+row, all-duplicate rows, and relations whose partitions are exclusively
+single-row (stripped) clusters.  Both backends must return *identical*
+structures — same cluster lists in the same canonical order, same agree
+sets, same validation outcomes, and byte-identical FD covers from a
+full DHyFD run.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.dhyfd import DHyFD
+from repro.core.sampling import AgreeSetSampler, all_agree_sets
+from repro.core.validation import validate_fd
+from repro.partitions import kernels
+from repro.partitions.stripped import StrippedPartition
+from repro.relational import attrset
+from repro.relational.null import NullSemantics
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema
+
+from tests.conftest import make_random_relation
+
+SEEDS = list(range(12))
+SEMANTICS = [NullSemantics.EQ, NullSemantics.NEQ]
+
+
+def edge_case_relations(semantics):
+    """Empty, single-row, all-duplicate, and all-stripped relations."""
+    schema3 = RelationSchema(["a", "b", "c"])
+    return [
+        Relation.from_rows([], schema3, semantics),
+        Relation.from_rows([("x", "y", "z")], schema3, semantics),
+        Relation.from_rows([("x", "y", "z")] * 5, schema3, semantics),
+        # every column is a key: all partitions are empty (stripped)
+        Relation.from_rows(
+            [(f"k{i}", f"m{i}", f"n{i}") for i in range(6)], schema3, semantics
+        ),
+    ]
+
+
+def both_backends(fn):
+    """Run ``fn(backend)`` for both backends and return the results."""
+    return fn("python"), fn("numpy")
+
+
+@pytest.mark.parametrize("semantics", SEMANTICS)
+@pytest.mark.parametrize("seed", SEEDS)
+class TestPartitionKernels:
+    def test_for_attrs_identical(self, seed, semantics):
+        rel = make_random_relation(seed, semantics)
+        rng = random.Random(seed + 1)
+        for _ in range(4):
+            mask = attrset.from_attrs(
+                rng.sample(range(rel.n_cols), rng.randint(1, rel.n_cols))
+            )
+            py, np_ = both_backends(
+                lambda b: StrippedPartition.for_attrs(rel, mask, backend=b)
+            )
+            assert py.clusters == np_.clusters
+            assert py.attrs == np_.attrs
+
+    def test_refine_identical(self, seed, semantics):
+        rel = make_random_relation(seed, semantics)
+        rng = random.Random(seed + 2)
+        attr = rng.randrange(rel.n_cols)
+        other = rng.randrange(rel.n_cols)
+        base_py = StrippedPartition.for_attribute(rel, attr, backend="python")
+        base_np = StrippedPartition.for_attribute(rel, attr, backend="numpy")
+        assert base_py.clusters == base_np.clusters
+        refined = both_backends(
+            lambda b: (base_py if b == "python" else base_np).refine(
+                rel, other, backend=b
+            )
+        )
+        assert refined[0].clusters == refined[1].clusters
+
+    def test_refine_many_identical(self, seed, semantics):
+        rel = make_random_relation(seed, semantics)
+        universal = StrippedPartition.universal(rel)
+        attrs = list(range(rel.n_cols))
+        py, np_ = both_backends(
+            lambda b: universal.refine_many(rel, attrs, backend=b)
+        )
+        assert py.clusters == np_.clusters
+
+    def test_intersect_identical(self, seed, semantics):
+        rel = make_random_relation(seed, semantics)
+        if rel.n_cols < 2:
+            pytest.skip("needs two attributes")
+        left_mask = attrset.singleton(0)
+        right_mask = attrset.singleton(1)
+
+        def product(backend):
+            left = StrippedPartition.for_attrs(rel, left_mask, backend=backend)
+            right = StrippedPartition.for_attrs(rel, right_mask, backend=backend)
+            return left.intersect(right, backend=backend)
+
+        py, np_ = both_backends(product)
+        assert py.clusters == np_.clusters
+        # and both match direct construction of the union partition
+        direct = StrippedPartition.for_attrs(rel, left_mask | right_mask)
+        assert {frozenset(c) for c in py.clusters} == {
+            frozenset(c) for c in direct.clusters
+        }
+
+    def test_refines_attribute_identical(self, seed, semantics):
+        rel = make_random_relation(seed, semantics)
+        for lhs_attr in range(rel.n_cols):
+            partition_py = StrippedPartition.for_attribute(
+                rel, lhs_attr, backend="python"
+            )
+            for rhs_attr in range(rel.n_cols):
+                py, np_ = both_backends(
+                    lambda b: partition_py.refines_attribute(
+                        rel, rhs_attr, backend=b
+                    )
+                )
+                assert py == np_
+
+
+@pytest.mark.parametrize("semantics", SEMANTICS)
+@pytest.mark.parametrize("seed", SEEDS)
+class TestAgreeSetKernels:
+    def test_sample_round_identical(self, seed, semantics):
+        rel = make_random_relation(seed, semantics)
+        singletons = [
+            StrippedPartition.for_attribute(rel, attr)
+            for attr in range(rel.n_cols)
+        ]
+
+        def run(backend):
+            sampler = AgreeSetSampler(rel, singletons, backend=backend)
+            sets_a, stats_a = sampler.sample_round()
+            sets_b, stats_b = sampler.sample_round()
+            return sets_a, sets_b, stats_a.comparisons, stats_b.comparisons
+
+        py, np_ = both_backends(run)
+        assert py == np_
+
+    def test_all_agree_sets_identical(self, seed, semantics):
+        rel = make_random_relation(seed, semantics)
+        py, np_ = both_backends(lambda b: all_agree_sets(rel, backend=b))
+        assert py == np_
+
+    def test_validate_fd_identical(self, seed, semantics):
+        rel = make_random_relation(seed, semantics)
+        if rel.n_cols < 2:
+            pytest.skip("needs two attributes")
+        rng = random.Random(seed + 3)
+        lhs_attrs = rng.sample(range(rel.n_cols), rng.randint(1, rel.n_cols - 1))
+        lhs = attrset.from_attrs(lhs_attrs)
+        rhs = attrset.complement(lhs, rel.n_cols)
+        start = attrset.singleton(lhs_attrs[0])
+
+        def run(backend):
+            partition = StrippedPartition.for_attrs(rel, start, backend=backend)
+            outcome = validate_fd(rel, lhs, rhs, partition, backend=backend)
+            return outcome.valid_rhs, outcome.non_fd_lhs, outcome.comparisons
+
+        py, np_ = both_backends(run)
+        assert py == np_
+
+
+@pytest.mark.parametrize("semantics", SEMANTICS)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_dhyfd_covers_identical(seed, semantics):
+    """Full discovery produces byte-identical covers on both backends."""
+    rel = make_random_relation(seed, semantics)
+    py = DHyFD(backend="python").discover(rel)
+    np_ = DHyFD(backend="numpy").discover(rel)
+    assert py.fds == np_.fds
+    assert py.format_fds() == np_.format_fds()
+
+
+@pytest.mark.parametrize("semantics", SEMANTICS)
+def test_edge_cases(semantics):
+    """Empty, single-row, duplicate-only, and key-only relations."""
+    for rel in edge_case_relations(semantics):
+        mask = attrset.full_set(rel.n_cols)
+        py, np_ = both_backends(
+            lambda b: StrippedPartition.for_attrs(rel, mask, backend=b)
+        )
+        assert py.clusters == np_.clusters
+        agree_py, agree_np = both_backends(lambda b: all_agree_sets(rel, b))
+        assert agree_py == agree_np
+        cover_py = DHyFD(backend="python").discover(rel).fds
+        cover_np = DHyFD(backend="numpy").discover(rel).fds
+        assert cover_py == cover_np
+
+
+@pytest.mark.parametrize("semantics", SEMANTICS)
+def test_single_row_clusters_strip_identically(semantics):
+    """Partitions whose refinement leaves only singletons come back empty."""
+    rel = Relation.from_rows(
+        [("a", "1"), ("a", "2"), ("b", "3"), ("b", "4")],
+        RelationSchema(["g", "u"]),
+        semantics,
+    )
+    base = StrippedPartition.for_attribute(rel, 0)
+    assert base.num_clusters == 2
+    py, np_ = both_backends(lambda b: base.refine(rel, 1, backend=b))
+    assert py.clusters == np_.clusters == []
+
+
+def test_default_backend_round_trip():
+    previous = kernels.get_default_backend()
+    with kernels.use_backend("python"):
+        assert kernels.get_default_backend() == "python"
+    assert kernels.get_default_backend() == previous
+    with pytest.raises(ValueError):
+        kernels.resolve_backend("fortran")

@@ -80,3 +80,36 @@ class TestCache:
         assert {frozenset(c) for c in result.clusters} == {
             frozenset(c) for c in direct.clusters
         }
+
+    def test_reuses_cached_multi_attr_subset(self):
+        # Regression: _best_subset used to consider only immediate
+        # sub-masks and singletons, so a cached π_AB was never reused
+        # for π_ABCD (no 3-attribute subset is cached here).
+        rel = random_relation(60, 5, domain_sizes=3, seed=11)
+        cache = PartitionCache(rel)
+        two = attrset.from_attrs([0, 1])
+        four = attrset.from_attrs([0, 1, 2, 3])
+        cached_two = cache.get(two)
+        assert cache._best_subset(four) is cached_two
+        result = cache.get(four)
+        direct = StrippedPartition.for_attrs(rel, four)
+        assert {frozenset(c) for c in result.clusters} == {
+            frozenset(c) for c in direct.clusters
+        }
+
+    def test_prefers_largest_cached_subset(self):
+        rel = random_relation(60, 5, domain_sizes=3, seed=11)
+        cache = PartitionCache(rel)
+        cache.get(attrset.from_attrs([0, 1]))
+        cached_three = cache.get(attrset.from_attrs([0, 1, 2]))
+        target = attrset.from_attrs([0, 1, 2, 4])
+        assert cache._best_subset(target) is cached_three
+
+    def test_subset_scan_ignores_non_subsets(self):
+        rel = random_relation(60, 5, domain_sizes=3, seed=11)
+        cache = PartitionCache(rel)
+        cache.get(attrset.from_attrs([2, 3]))  # not a subset of target
+        target = attrset.from_attrs([0, 1, 4])
+        base = cache._best_subset(target)
+        assert attrset.is_proper_subset(base.attrs, target)
+        assert attrset.count(base.attrs) <= 1

@@ -39,10 +39,17 @@ class TestMeasures:
         assert d.efficiency == 0.0
         assert d.ratio == 0.0
 
-    def test_nothing_above_gives_infinite_ratio(self):
+    def test_nothing_above_is_maximal_inefficiency(self):
+        # reusable nodes exist but no FD above could ever consult the
+        # refined partitions: inefficiency is unbounded, ratio pinned 0.
         d = decision(fds_above=0)
+        assert d.inefficiency == math.inf
+        assert d.ratio == 0.0
+
+    def test_nothing_above_no_reusables(self):
+        d = decision(fds_above=0, reusable_nodes=0)
         assert d.inefficiency == 0.0
-        assert d.ratio == math.inf
+        assert d.ratio == 0.0
 
     def test_zero_efficiency_zero_ratio(self):
         d = decision(valid_fds=0, fds_above=0)
@@ -69,6 +76,16 @@ class TestShouldUpdate:
 
     def test_no_update_without_reusables(self):
         d = decision(reusable_nodes=0, fds_above=0, valid_fds=10)
+        assert not d.should_update()
+
+    def test_no_update_when_nothing_above_regression(self):
+        # Regression: fds_above == 0 with reusable nodes used to yield
+        # ratio == inf, forcing a refresh that could never pay off.
+        d = LevelDecision(
+            level=3, total_candidates=10, valid_fds=5, reusable_nodes=4,
+            fds_above=0,
+        )
+        assert d.ratio == 0.0
         assert not d.should_update()
 
     def test_custom_threshold(self):

@@ -266,7 +266,14 @@ class TestStackWiring:
     def test_dhyfd_stats_surface_ddm_cache(self, city_relation):
         result = DHyFD().discover(city_relation)
         stats = result.stats
-        assert stats.partition_cache_hits + stats.partition_cache_misses > 0
+        # singleton-id resolutions are by design, tracked apart from
+        # hits (dynamic partitions) and misses (stale fallbacks)
+        lookups = (
+            stats.partition_cache_hits
+            + stats.partition_cache_misses
+            + stats.partition_singleton_lookups
+        )
+        assert lookups > 0
         assert stats.induction_nodes_visited > 0
 
     def test_naive_stats_surface_partition_cache(self, city_relation):
