@@ -20,6 +20,7 @@ from .algorithms.registry import algorithm_names, make_algorithm
 from .bench.tables import format_table
 from .covers.canonical import compare_covers
 from .datasets.benchmarks import benchmark_names, get_spec, load_benchmark
+from . import parallel
 from .partitions import kernels
 from .profiling.profiler import profile
 from .relational.io import read_csv, write_csv
@@ -43,13 +44,16 @@ def package_version() -> str:
 def _load_input(args: argparse.Namespace) -> Relation:
     """Resolve --csv / --benchmark inputs into a relation.
 
-    Also applies ``--backend`` (when the subcommand has it) as the
-    process-wide partition-kernel default, so every algorithm in the
-    invocation uses the chosen backend.
+    Also applies ``--backend`` and ``--jobs`` (when the subcommand has
+    them) as process-wide defaults, so every algorithm and ranking pass
+    in the invocation uses the chosen backend and worker count.
     """
     backend = getattr(args, "backend", None)
     if backend is not None:
         kernels.set_default_backend(backend)
+    jobs = getattr(args, "jobs", None)
+    if jobs is not None:
+        parallel.set_default_jobs(jobs)
     semantics = NullSemantics.parse(args.null_semantics)
     if args.csv:
         return read_csv(args.csv, semantics=semantics, max_rows=args.rows)
@@ -57,6 +61,14 @@ def _load_input(args: argparse.Namespace) -> Relation:
     if semantics is not relation.semantics:
         relation = relation.with_semantics(semantics)
     return relation
+
+
+def _parse_jobs_arg(value: str) -> int:
+    """argparse type for --jobs: int or 'auto' (0), clean error otherwise."""
+    try:
+        return parallel.config._parse_jobs(value, "--jobs")
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
 
 
 def _add_input_args(parser: argparse.ArgumentParser) -> None:
@@ -81,6 +93,14 @@ def _add_input_args(parser: argparse.ArgumentParser) -> None:
         choices=list(kernels.BACKENDS),
         help="partition-kernel backend (default: %s, or $REPRO_FD_BACKEND)"
         % kernels.get_default_backend(),
+    )
+    parser.add_argument(
+        "--jobs",
+        default=None,
+        metavar="N",
+        type=_parse_jobs_arg,
+        help="worker processes for validation/ranking: a count, 0 or "
+        "'auto' for one per core (default: serial, or $REPRO_FD_JOBS)",
     )
 
 

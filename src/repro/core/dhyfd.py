@@ -17,6 +17,10 @@ from typing import List, Optional, Set, Tuple
 
 from ..fdtree.extended import ExtendedFDTree, ExtFDNode
 from ..fdtree.induction import synergized_induct
+from ..parallel import ParallelExecutor, PoolBrokenError, resolve_jobs
+from ..parallel import config as parallel_config
+from ..parallel import merge_validation_outcomes
+from ..parallel import validate_level as parallel_validate_level
 from ..relational import attrset
 from ..relational.attrset import AttrSet
 from ..relational.fd import FDSet, normalize_singleton_cover
@@ -27,7 +31,7 @@ from .ddm import DynamicDataManager
 from .ratio import DEFAULT_RATIO_THRESHOLD, LevelDecision
 from .result import DiscoveryStats
 from .sampling import initial_sample
-from .validation import validate_fd
+from .validation import ValidationResult, validate_fd
 
 
 class DHyFD(DiscoveryAlgorithm):
@@ -42,6 +46,9 @@ class DHyFD(DiscoveryAlgorithm):
         enable_ddm_updates: bool = True,
         enable_initial_sampling: bool = True,
         backend: Optional[str] = None,
+        jobs: Optional[int] = None,
+        parallel_min_rows: Optional[int] = None,
+        parallel_min_candidates: Optional[int] = None,
     ):
         """Args:
             ratio_threshold: efficiency/inefficiency level above which
@@ -56,15 +63,52 @@ class DHyFD(DiscoveryAlgorithm):
             backend: partition-kernel backend (``"python"`` or
                 ``"numpy"``); ``None`` uses the process default (see
                 :mod:`repro.partitions.kernels`).
+            jobs: worker-process count for level validation and the
+                initial sample; ``0``/``"auto"`` means one per core,
+                ``None`` uses the process default (``REPRO_FD_JOBS`` /
+                the CLI's ``--jobs``).  Covers and stats are identical
+                for every value — see :mod:`repro.parallel`.
+            parallel_min_rows: don't go parallel below this many rows
+                (``None`` uses the :mod:`repro.parallel.config` default).
+            parallel_min_candidates: don't dispatch a level with fewer
+                validated candidates than this.
         """
         super().__init__(time_limit)
         self.ratio_threshold = ratio_threshold
         self.enable_ddm_updates = enable_ddm_updates
         self.enable_initial_sampling = enable_initial_sampling
         self.backend = backend
+        self.jobs = jobs
+        self.parallel_min_rows = parallel_min_rows
+        self.parallel_min_candidates = parallel_min_candidates
+
+    def _make_executor(self, relation: Relation) -> Optional[ParallelExecutor]:
+        """An executor for this run, or None when the serial path wins."""
+        jobs = resolve_jobs(self.jobs)
+        min_rows = (
+            parallel_config.DEFAULT_MIN_PARALLEL_ROWS
+            if self.parallel_min_rows is None
+            else self.parallel_min_rows
+        )
+        if jobs <= 1 or relation.n_rows < min_rows:
+            return None
+        return ParallelExecutor(relation, jobs=jobs, backend=self.backend)
 
     def _find_fds(
         self, relation: Relation, deadline: Deadline
+    ) -> Tuple[FDSet, DiscoveryStats]:
+        executor = self._make_executor(relation)
+        try:
+            return self._find_fds_impl(relation, deadline, executor)
+        finally:
+            if executor is not None:
+                executor.close()
+
+    def _find_fds_impl(
+        self,
+        relation: Relation,
+        deadline: Deadline,
+        executor: Optional[ParallelExecutor],
     ) -> Tuple[FDSet, DiscoveryStats]:
         stats = DiscoveryStats()
         tracer = current_tracer()
@@ -81,7 +125,8 @@ class DHyFD(DiscoveryAlgorithm):
         if self.enable_initial_sampling:
             with tracer.span("sampling") as span:
                 violations |= initial_sample(
-                    relation, ddm.singletons, backend=self.backend
+                    relation, ddm.singletons, backend=self.backend,
+                    executor=executor,
                 )
                 span.annotate(non_fds=len(violations))
         stats.sampled_non_fds = len(violations)
@@ -105,26 +150,21 @@ class DHyFD(DiscoveryAlgorithm):
 
         while candidates:
             deadline.check()
-            violations = set()
-            total = sum(attrset.count(node.rhs) for node in candidates)
+            # Only nodes the loop actually validates count toward the
+            # level's candidate total: deleted and empty-RHS nodes do no
+            # work, and counting them skews the efficiency–inefficiency
+            # ratio toward refreshing too early.
+            todo = [node for node in candidates if not node.deleted and node.rhs]
+            total = sum(attrset.count(node.rhs) for node in todo)
             vl_nodes: List[ExtFDNode] = list(candidates)
 
             with tracer.span(
                 "validation", level=validation_level, candidates=total
             ) as span:
-                level_comparisons = 0
-                for node in candidates:
-                    if node.deleted or not node.rhs:
-                        continue
-                    partition = ddm.partition_for_node(node)
-                    outcome = validate_fd(
-                        relation, node.path(), node.rhs, partition,
-                        backend=self.backend,
-                    )
-                    stats.validations += 1
-                    level_comparisons += outcome.comparisons
-                    violations |= outcome.non_fd_lhs
-                    deadline.check()
+                violations, level_comparisons = self._validate_level(
+                    relation, todo, ddm, executor, deadline
+                )
+                stats.validations += len(todo)
                 stats.comparisons += level_comparisons
                 span.annotate(
                     comparisons=level_comparisons, non_fds=len(violations)
@@ -213,6 +253,45 @@ class DHyFD(DiscoveryAlgorithm):
             stats.partition_memory_peak_bytes
         )
         return normalize_singleton_cover(tree.iter_fds()), stats
+
+    def _validate_level(
+        self,
+        relation: Relation,
+        todo: List[ExtFDNode],
+        ddm: DynamicDataManager,
+        executor: Optional[ParallelExecutor],
+        deadline: Deadline,
+    ) -> Tuple[Set[AttrSet], int]:
+        """Validate one level's candidates; returns (non-FDs, comparisons).
+
+        Partitions are resolved through the DDM up front (so its cache
+        counters are identical on every path), then validated either
+        across the pool or serially.  A broken pool falls back to the
+        serial loop over the *same* resolved items — results and stats
+        never depend on which path ran.
+        """
+        items = [
+            (node.path(), node.rhs, ddm.partition_for_node(node)) for node in todo
+        ]
+        min_items = (
+            parallel_config.DEFAULT_MIN_PARALLEL_ITEMS
+            if self.parallel_min_candidates is None
+            else self.parallel_min_candidates
+        )
+        if executor is not None and executor.active and len(items) >= min_items:
+            try:
+                outcomes = parallel_validate_level(executor, items)
+                deadline.check()
+                return merge_validation_outcomes(outcomes)
+            except PoolBrokenError:
+                pass  # rerun the already-resolved items serially
+        outcomes_serial: List[ValidationResult] = []
+        for lhs, rhs, partition in items:
+            outcomes_serial.append(
+                validate_fd(relation, lhs, rhs, partition, backend=self.backend)
+            )
+            deadline.check()
+        return merge_validation_outcomes(outcomes_serial)
 
     @staticmethod
     def _induct_all(

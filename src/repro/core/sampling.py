@@ -34,6 +34,41 @@ from ..relational.attrset import AttrSet
 from ..relational.relation import Relation
 
 
+def row_sort_keys(matrix: np.ndarray) -> List[bytes]:
+    """Per-row sort keys: the row's full byte content.
+
+    Sorting cluster rows by whole-row content is what makes neighbours
+    likely to share long agree sets (the sorted-neighborhood method).
+    Shared between the in-process sampler and pool workers so both sort
+    identically.
+    """
+    return [row.tobytes() for row in matrix]
+
+
+def sort_clusters_by_content(
+    clusters: Sequence[Sequence[int]], row_keys: Sequence[bytes]
+) -> List[np.ndarray]:
+    """Sort each cluster's rows by their full-row content keys."""
+    return [
+        np.asarray(sorted(cluster, key=lambda row: row_keys[row]), dtype=np.int64)
+        for cluster in clusters
+    ]
+
+
+def window_pairs(
+    sorted_clusters: Sequence[np.ndarray], window: int
+) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+    """All neighbour pairs at distance ``window``, as two row arrays.
+
+    Returns ``None`` when no cluster is long enough to yield a pair.
+    """
+    rows_a = [c[:-window] for c in sorted_clusters if len(c) > window]
+    if not rows_a:
+        return None
+    rows_b = [c[window:] for c in sorted_clusters if len(c) > window]
+    return np.concatenate(rows_a), np.concatenate(rows_b)
+
+
 class SampleStats:
     """Bookkeeping for one sampling round."""
 
@@ -65,16 +100,11 @@ class AgreeSetSampler:
         self.matrix = relation.matrix()
         self._full = attrset.full_set(relation.n_cols)
         #: Per-attribute clusters with rows pre-sorted by full row content.
-        self._sorted_clusters: List[List[np.ndarray]] = []
-        row_keys = [row.tobytes() for row in self.matrix]
-        for partition in partitions:
-            clusters = [
-                np.asarray(
-                    sorted(cluster, key=lambda row: row_keys[row]), dtype=np.int64
-                )
-                for cluster in partition.clusters
-            ]
-            self._sorted_clusters.append(clusters)
+        row_keys = row_sort_keys(self.matrix)
+        self._sorted_clusters: List[List[np.ndarray]] = [
+            sort_clusters_by_content(partition.clusters, row_keys)
+            for partition in partitions
+        ]
         #: Next window distance to run, per attribute.
         self._windows = [1] * len(self._sorted_clusters)
         self.seen: Set[AttrSet] = set()
@@ -90,11 +120,9 @@ class AgreeSetSampler:
         new_sets: Set[AttrSet] = set()
         for attr, clusters in enumerate(self._sorted_clusters):
             window = self._windows[attr]
-            rows_a = [c[:-window] for c in clusters if len(c) > window]
-            if rows_a:
-                rows_b = [c[window:] for c in clusters if len(c) > window]
-                pairs_a = np.concatenate(rows_a)
-                pairs_b = np.concatenate(rows_b)
+            pairs = window_pairs(clusters, window)
+            if pairs is not None:
+                pairs_a, pairs_b = pairs
                 stats.comparisons += len(pairs_a)
                 for agree in kernels.agree_masks(
                     self.matrix, pairs_a, pairs_b, backend=self.backend
@@ -130,8 +158,24 @@ def initial_sample(
     relation: Relation,
     partitions: Sequence[StrippedPartition],
     backend: Optional[str] = None,
+    executor=None,
 ) -> Set[AttrSet]:
-    """DHyFD's one-shot wide sample: a single window-1 round."""
+    """DHyFD's one-shot wide sample: a single window-1 round.
+
+    When an active :class:`~repro.parallel.ParallelExecutor` is passed,
+    the per-attribute windows are split across pool workers; the merged
+    agree-set union equals the serial round exactly (per-attribute work
+    is independent and the union deduplicates).  Any pool failure falls
+    back to the serial sampler.
+    """
+    if executor is not None and executor.active:
+        from ..parallel import PoolBrokenError, sample_initial
+
+        try:
+            agree_sets, _comparisons = sample_initial(executor, partitions)
+            return agree_sets
+        except PoolBrokenError:
+            pass
     sampler = AgreeSetSampler(relation, partitions, backend=backend)
     agree_sets, _ = sampler.sample_round()
     return agree_sets

@@ -1,0 +1,51 @@
+"""Process-pool execution layer with shared-memory relation transport.
+
+See :mod:`repro.parallel.pool` for the execution and failure model and
+``docs/parallel.md`` for the architecture write-up.
+"""
+
+from .config import (
+    DEFAULT_MIN_BATCH,
+    DEFAULT_MIN_PARALLEL_ITEMS,
+    DEFAULT_MIN_PARALLEL_ROWS,
+    ENV_JOBS,
+    get_default_jobs,
+    resolve_jobs,
+    set_default_jobs,
+    use_jobs,
+)
+from .merge import merge_validation_outcomes, pack_row_mask, unpack_row_mask
+from .pool import (
+    ENV_FAULT_INJECT,
+    ParallelExecutor,
+    PoolBrokenError,
+    chunk_items,
+    redundancy_row_masks,
+    sample_initial,
+    validate_level,
+)
+from .shm import SharedRelationBuffers, SharedRelationView, ShmSpec
+
+__all__ = [
+    "DEFAULT_MIN_BATCH",
+    "DEFAULT_MIN_PARALLEL_ITEMS",
+    "DEFAULT_MIN_PARALLEL_ROWS",
+    "ENV_FAULT_INJECT",
+    "ENV_JOBS",
+    "ParallelExecutor",
+    "PoolBrokenError",
+    "SharedRelationBuffers",
+    "SharedRelationView",
+    "ShmSpec",
+    "chunk_items",
+    "get_default_jobs",
+    "merge_validation_outcomes",
+    "pack_row_mask",
+    "redundancy_row_masks",
+    "resolve_jobs",
+    "sample_initial",
+    "set_default_jobs",
+    "unpack_row_mask",
+    "use_jobs",
+    "validate_level",
+]

@@ -1,0 +1,45 @@
+"""Deterministic reducers for results coming back from worker batches.
+
+Every parallel result in this library merges by a commutative,
+associative operation — set union for agree-set non-FDs, integer sums
+for comparison counts, boolean OR for redundancy row masks — so the
+merged value is independent of worker count, batch boundaries and
+completion order.  Call sites funnel both their serial and parallel
+paths through these helpers, which is what makes covers and stats
+byte-identical for any ``jobs`` setting.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set, Tuple
+
+import numpy as np
+
+from ..relational.attrset import AttrSet
+
+
+def merge_validation_outcomes(outcomes: Iterable) -> Tuple[Set[AttrSet], int]:
+    """Union the non-FD agree sets and sum the comparison counts.
+
+    Accepts any iterable of
+    :class:`~repro.core.validation.ValidationResult`-shaped objects
+    (``non_fd_lhs`` iterable of masks, ``comparisons`` int).
+    """
+    non_fds: Set[AttrSet] = set()
+    comparisons = 0
+    for outcome in outcomes:
+        non_fds.update(outcome.non_fd_lhs)
+        comparisons += outcome.comparisons
+    return non_fds, comparisons
+
+
+def pack_row_mask(mask: np.ndarray) -> np.ndarray:
+    """Pack a boolean per-row mask into uint8 bits for the return trip."""
+    return np.packbits(mask)
+
+
+def unpack_row_mask(packed: np.ndarray, n_rows: int) -> np.ndarray:
+    """Inverse of :func:`pack_row_mask`."""
+    if n_rows == 0:
+        return np.zeros(0, dtype=bool)
+    return np.unpackbits(packed, count=n_rows).astype(bool)

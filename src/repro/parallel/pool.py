@@ -1,0 +1,430 @@
+"""Shared-memory worker pool for validation, ranking and sampling.
+
+Execution model
+---------------
+
+The parent copies the relation's code and null matrices into shared
+memory once (:mod:`repro.parallel.shm`), spins up a
+:class:`concurrent.futures.ProcessPoolExecutor` whose initializer
+attaches every worker to those segments, and then ships *work items* —
+candidate ``(LHS, RHS, partition)`` triples, FD LHSs, or per-attribute
+cluster lists — batched by :func:`chunk_items` to amortize dispatch
+overhead.  Partitions travel as flat ``(rows, lengths)`` index arrays
+(:func:`repro.partitions.kernels.flatten_clusters`); workers rebuild
+them and run the exact serial primitives (``validate_fd``,
+``redundant_rows_for_lhs``, the sorted-neighborhood helpers) against
+the shared view.  Results come back tagged with their item index and
+are merged in submission order by the reducers in
+:mod:`repro.parallel.merge`, so the combined covers, stats and masks
+are byte-identical for any worker count.
+
+Failure model
+-------------
+
+Any pool-level failure — a worker killed mid-task, a failed fork, an
+unpicklable payload — marks the executor *broken*, emits a
+``parallel_fallback`` telemetry event and raises
+:class:`PoolBrokenError`.  Call sites catch it and rerun the same work
+serially: a dying worker degrades throughput, never the result.
+
+Telemetry
+---------
+
+The context-local tracer does not cross process boundaries, so each
+worker batch runs under its own private tracer (when the parent's is
+enabled) and returns a flat summary — completed span timings plus
+counter totals (including the ``kernels.*`` call counters).  The
+parent replays those through
+:meth:`~repro.telemetry.Tracer.record_completed` and its own counter
+registry, so a traced parallel run still shows where the time went.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing as mp
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..partitions import kernels
+from ..relational import attrset
+from ..relational.attrset import AttrSet
+from ..telemetry import Tracer, current_tracer, use_tracer
+from .config import DEFAULT_MIN_BATCH, resolve_jobs
+from .merge import pack_row_mask, unpack_row_mask
+from .shm import SharedRelationBuffers, SharedRelationView
+
+#: Setting this to ``"crash"`` makes every worker batch hard-exit before
+#: doing any work — a fault-injection hook for the fallback tests.
+ENV_FAULT_INJECT = "REPRO_FD_FAULT_INJECT"
+
+
+class PoolBrokenError(RuntimeError):
+    """The worker pool is unusable; the caller should run serially."""
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+_worker_view: Optional[SharedRelationView] = None
+
+
+def _init_worker(spec, unregister: bool) -> None:
+    """Pool initializer: attach this worker to the shared relation."""
+    global _worker_view
+    _worker_view = SharedRelationView(spec, unregister=unregister)
+
+
+def _summarize_tracer(tracer: Optional[Tracer]) -> Optional[dict]:
+    """Flatten a worker tracer into a small picklable summary."""
+    if tracer is None:
+        return None
+    return {
+        "spans": [
+            (span.name, float(span.duration or 0.0), dict(span.attrs))
+            for span, _depth in tracer.walk()
+        ],
+        "counters": {
+            name: counter.value
+            for name, counter in tracer.metrics.counters.items()
+        },
+    }
+
+
+def _validate_batch(view: SharedRelationView, payload: dict) -> list:
+    from ..core.validation import validate_fd
+    from ..partitions.stripped import StrippedPartition
+
+    backend = payload["backend"]
+    out = []
+    for index, lhs, rhs, part_attrs, rows, lengths in payload["items"]:
+        partition = StrippedPartition.from_flat(
+            part_attrs, rows, lengths, view.n_rows
+        )
+        outcome = validate_fd(view, lhs, rhs, partition, backend=backend)
+        out.append(
+            (index, outcome.valid_rhs, sorted(outcome.non_fd_lhs), outcome.comparisons)
+        )
+    return out
+
+
+def _redundancy_batch(view: SharedRelationView, payload: dict) -> list:
+    from ..partitions.stripped import StrippedPartition
+    from ..ranking.redundancy import NullPolicy, redundant_rows_for_lhs
+
+    backend = payload["backend"]
+    policy = NullPolicy(payload["policy"])
+    out = []
+    for index, lhs in payload["items"]:
+        partition = StrippedPartition.for_attrs(view, lhs, backend=backend)
+        rows_mask = redundant_rows_for_lhs(view, partition, policy)
+        out.append((index, pack_row_mask(rows_mask)))
+    return out
+
+
+def _sample_batch(view: SharedRelationView, payload: dict) -> list:
+    from ..core.sampling import row_sort_keys, sort_clusters_by_content, window_pairs
+
+    backend = payload["backend"]
+    matrix = view.matrix()
+    row_keys = row_sort_keys(matrix)
+    full = attrset.full_set(view.n_cols)
+    masks: Set[AttrSet] = set()
+    comparisons = 0
+    for _attr, rows, lengths in payload["items"]:
+        clusters = kernels.unflatten_clusters(rows, lengths)
+        sorted_clusters = sort_clusters_by_content(clusters, row_keys)
+        pairs = window_pairs(sorted_clusters, window=1)
+        if pairs is None:
+            continue
+        rows_a, rows_b = pairs
+        comparisons += len(rows_a)
+        for agree in kernels.agree_masks(matrix, rows_a, rows_b, backend=backend):
+            if agree != full:
+                masks.add(agree)
+    return [(sorted(masks), comparisons)]
+
+
+_HANDLERS = {
+    "validate": _validate_batch,
+    "redundancy": _redundancy_batch,
+    "sample": _sample_batch,
+}
+
+
+def _run_batch(payload: dict) -> dict:
+    """Worker entry point: execute one batch, optionally under a tracer."""
+    if os.environ.get(ENV_FAULT_INJECT) == "crash":
+        os._exit(86)
+    tracer = Tracer() if payload["collect"] else None
+    handler = _HANDLERS[payload["kind"]]
+    with use_tracer(tracer):
+        with current_tracer().span(
+            "parallel.batch",
+            kind=payload["kind"],
+            items=len(payload["items"]),
+            pid=os.getpid(),
+        ):
+            results = handler(_worker_view, payload)
+    return {"results": results, "telemetry": _summarize_tracer(tracer)}
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+
+
+def chunk_items(
+    items: Sequence,
+    jobs: int,
+    min_batch: int = DEFAULT_MIN_BATCH,
+    batches_per_worker: int = 4,
+) -> List[Sequence]:
+    """Split work items into per-task batches.
+
+    Batches are at least ``min_batch`` items (dispatch amortization) but
+    small enough that each worker sees roughly ``batches_per_worker``
+    of them (load balancing across uneven item costs).
+    """
+    n = len(items)
+    if n == 0:
+        return []
+    size = max(1, min_batch, math.ceil(n / max(1, jobs * batches_per_worker)))
+    return [items[start:start + size] for start in range(0, n, size)]
+
+
+def _replay_summary(tracer, summary: Optional[dict]) -> None:
+    """Replay a worker's span/counter summary onto the parent tracer."""
+    if summary is None or not tracer.enabled:
+        return
+    for name, duration, attrs in summary["spans"]:
+        tracer.record_completed(name, duration, **attrs)
+    for name, value in summary["counters"].items():
+        tracer.metrics.counter(name).inc(value)
+
+
+class ParallelExecutor:
+    """A per-run process pool sharing one relation with its workers.
+
+    Created lazily: the shared-memory copy and the pool itself only
+    materialize on the first :meth:`run` call, so constructing an
+    executor that never dispatches costs nothing.  Close it (or use it
+    as a context manager) to release the shared segments.
+    """
+
+    def __init__(
+        self,
+        relation,
+        jobs: Optional[int] = None,
+        backend: Optional[str] = None,
+        min_batch: Optional[int] = None,
+    ):
+        self.relation = relation
+        self.jobs = resolve_jobs(jobs)
+        #: Backend resolved eagerly so workers use the parent's default
+        #: even under spawn (which re-imports and would re-read the env).
+        self.backend = kernels.resolve_backend(backend)
+        self.min_batch = DEFAULT_MIN_BATCH if min_batch is None else max(1, min_batch)
+        self.broken = False
+        self.batches_dispatched = 0
+        self.items_dispatched = 0
+        self._buffers: Optional[SharedRelationBuffers] = None
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    @property
+    def active(self) -> bool:
+        """True while the executor can accept work (jobs > 1, not broken)."""
+        return self.jobs > 1 and not self.broken
+
+    def _ensure_pool(self) -> None:
+        if self._pool is not None:
+            return
+        self._buffers = SharedRelationBuffers(self.relation)
+        method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.jobs,
+            mp_context=mp.get_context(method),
+            initializer=_init_worker,
+            # Spawn-started workers get their own resource tracker and
+            # must unregister the attachment; fork-started workers share
+            # the parent's (see shm._attach).
+            initargs=(self._buffers.spec, method != "fork"),
+        )
+
+    def run(
+        self,
+        kind: str,
+        items: Sequence,
+        extra: Optional[Dict[str, object]] = None,
+        min_batch: Optional[int] = None,
+        batches_per_worker: int = 4,
+    ) -> list:
+        """Dispatch ``items`` as chunked ``kind`` batches and gather results.
+
+        Returns the concatenated per-item result tuples (each tagged
+        with its item index by the worker).  Raises
+        :class:`PoolBrokenError` on any pool failure, after marking the
+        executor broken and emitting a ``parallel_fallback`` event.
+        """
+        if not self.active:
+            raise PoolBrokenError(
+                f"executor inactive (jobs={self.jobs}, broken={self.broken})"
+            )
+        tracer = current_tracer()
+        collect = bool(tracer.enabled)
+        try:
+            self._ensure_pool()
+            batch_size = self.min_batch if min_batch is None else max(1, min_batch)
+            batches = chunk_items(items, self.jobs, batch_size, batches_per_worker)
+            futures = [
+                self._pool.submit(
+                    _run_batch,
+                    {
+                        "kind": kind,
+                        "backend": self.backend,
+                        "collect": collect,
+                        "items": list(batch),
+                        **(extra or {}),
+                    },
+                )
+                for batch in batches
+            ]
+            merged: list = []
+            for future in futures:
+                reply = future.result()
+                merged.extend(reply["results"])
+                _replay_summary(tracer, reply["telemetry"])
+            self.batches_dispatched += len(batches)
+            self.items_dispatched += len(items)
+            return merged
+        except PoolBrokenError:
+            raise
+        except Exception as exc:
+            self._mark_broken(kind, exc)
+            raise PoolBrokenError(
+                f"worker pool failed during {kind!r}: {exc!r}"
+            ) from exc
+
+    def _mark_broken(self, kind: str, exc: Exception) -> None:
+        self.broken = True
+        current_tracer().event(
+            "parallel_fallback",
+            kind=kind,
+            jobs=self.jobs,
+            error=type(exc).__name__,
+        )
+        self._shutdown()
+
+    def _shutdown(self) -> None:
+        if self._pool is not None:
+            try:
+                self._pool.shutdown(wait=True, cancel_futures=True)
+            except Exception:
+                pass
+            self._pool = None
+        if self._buffers is not None:
+            self._buffers.close()
+            self._buffers = None
+
+    def close(self) -> None:
+        """Shut the pool down and unlink the shared segments (idempotent)."""
+        self._shutdown()
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "broken" if self.broken else ("idle" if self._pool is None else "up")
+        return f"ParallelExecutor(jobs={self.jobs}, {state})"
+
+
+# ----------------------------------------------------------------------
+# High-level wrappers (one per wired subsystem)
+# ----------------------------------------------------------------------
+
+
+def validate_level(
+    executor: ParallelExecutor,
+    items: Sequence[Tuple[AttrSet, AttrSet, object]],
+) -> list:
+    """Validate ``(lhs, rhs, partition)`` candidates across the pool.
+
+    Returns one :class:`~repro.core.validation.ValidationResult` per
+    item, in input order.
+    """
+    from ..core.validation import ValidationResult
+
+    payload_items = []
+    for index, (lhs, rhs, partition) in enumerate(items):
+        rows, lengths = kernels.flatten_clusters(partition.clusters)
+        payload_items.append((index, lhs, rhs, partition.attrs, rows, lengths))
+    raw = executor.run("validate", payload_items)
+    results: List[Optional[ValidationResult]] = [None] * len(payload_items)
+    for index, valid_rhs, non_fds, comparisons in raw:
+        results[index] = ValidationResult(valid_rhs, set(non_fds), comparisons)
+    if any(result is None for result in results):
+        raise PoolBrokenError("worker pool returned an incomplete result set")
+    return results
+
+
+def redundancy_row_masks(
+    executor: ParallelExecutor,
+    lhs_list: Sequence[AttrSet],
+    policy,
+) -> List[np.ndarray]:
+    """Per-LHS redundant-row masks, one FD LHS per task (input order).
+
+    Workers build ``π_LHS`` from the shared matrix themselves — the
+    partition construction is the expensive part being parallelized —
+    and return bit-packed row masks the parent unpacks and OR-merges.
+    """
+    payload_items = [(index, lhs) for index, lhs in enumerate(lhs_list)]
+    raw = executor.run(
+        "redundancy",
+        payload_items,
+        extra={"policy": policy.value},
+        min_batch=1,
+        batches_per_worker=8,
+    )
+    n_rows = executor.relation.n_rows
+    masks: List[Optional[np.ndarray]] = [None] * len(payload_items)
+    for index, packed in raw:
+        masks[index] = unpack_row_mask(packed, n_rows)
+    if any(mask is None for mask in masks):
+        raise PoolBrokenError("worker pool returned an incomplete result set")
+    return masks
+
+
+def sample_initial(
+    executor: ParallelExecutor,
+    partitions: Sequence,
+) -> Tuple[Set[AttrSet], int]:
+    """Window-1 sorted-neighborhood sampling split across workers.
+
+    Each task covers a chunk of attributes (whole singleton partitions);
+    the merged agree-set union and comparison total are identical to
+    the serial sampler's first round.
+    """
+    payload_items = []
+    for attr, partition in enumerate(partitions):
+        rows, lengths = kernels.flatten_clusters(partition.clusters)
+        payload_items.append((attr, rows, lengths))
+    # One task per worker when possible: every sampling task pays a full
+    # row-key computation, so fewer, larger tasks win here.
+    per_task = max(1, math.ceil(len(payload_items) / max(1, executor.jobs)))
+    raw = executor.run(
+        "sample", payload_items, min_batch=per_task, batches_per_worker=1
+    )
+    masks: Set[AttrSet] = set()
+    comparisons = 0
+    for batch_masks, batch_comparisons in raw:
+        masks.update(batch_masks)
+        comparisons += batch_comparisons
+    return masks, comparisons

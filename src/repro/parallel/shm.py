@@ -1,0 +1,160 @@
+"""Zero-copy export of a relation's encoded data to worker processes.
+
+Workers never unpickle the :class:`~repro.relational.relation.Relation`
+itself — its decoders and per-column objects are irrelevant to the hot
+paths and would be copied per task.  Instead the parent copies the two
+arrays every parallel kernel consumes into POSIX shared memory **once**
+per discovery run:
+
+* the row-major ``(n_rows, n_cols)`` int64 DIIS code matrix, and
+* the ``(n_rows, n_cols)`` boolean null-marker matrix.
+
+Each pool worker attaches at initializer time and reconstructs numpy
+views over the same physical pages (:class:`SharedRelationView`), so a
+pool of N workers holds one copy of the data, not N+1.
+
+The view duck-types the slice of the ``Relation`` interface the
+compute paths use — ``matrix()``, ``codes(attr)``, ``null_mask(attr)``,
+``n_rows``, ``n_cols`` — which lets workers run the exact same
+functions (``validate_fd``, ``redundant_rows_for_lhs``, the sampling
+helpers) the serial path runs, keeping results byte-identical.
+
+Lifecycle: the parent owns both segments and unlinks them in
+:meth:`SharedRelationBuffers.close` (worker mappings stay valid until
+the worker exits, per POSIX semantics).  Workers ``close()`` their
+attachment at interpreter exit; they also unregister the segments from
+their ``resource_tracker`` so a worker's exit does not unlink memory
+the parent still owns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import List, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ShmSpec:
+    """Picklable handle describing the shared segments (sent to workers)."""
+
+    matrix_name: str
+    nulls_name: str
+    n_rows: int
+    n_cols: int
+
+
+def _copy_into_shm(array: np.ndarray) -> shared_memory.SharedMemory:
+    """Allocate a shared segment and copy ``array`` into it."""
+    shm = shared_memory.SharedMemory(create=True, size=max(1, array.nbytes))
+    if array.nbytes:
+        target = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)
+        target[...] = array
+    return shm
+
+
+class SharedRelationBuffers:
+    """Parent-side owner of the shared code and null-mask matrices."""
+
+    def __init__(self, relation):
+        n_rows, n_cols = relation.n_rows, relation.n_cols
+        matrix = np.ascontiguousarray(relation.matrix(), dtype=np.int64)
+        if n_cols and n_rows:
+            nulls = np.column_stack(
+                [relation.null_mask(attr) for attr in range(n_cols)]
+            ).astype(bool, copy=False)
+        else:
+            nulls = np.zeros((n_rows, n_cols), dtype=bool)
+        self._matrix_shm = _copy_into_shm(matrix)
+        self._nulls_shm = _copy_into_shm(np.ascontiguousarray(nulls))
+        self.nbytes = matrix.nbytes + nulls.nbytes
+        self.spec = ShmSpec(
+            matrix_name=self._matrix_shm.name,
+            nulls_name=self._nulls_shm.name,
+            n_rows=n_rows,
+            n_cols=n_cols,
+        )
+
+    def close(self) -> None:
+        """Release and unlink both segments (idempotent)."""
+        for shm in (self._matrix_shm, self._nulls_shm):
+            if shm is None:
+                continue
+            try:
+                shm.close()
+            except Exception:
+                pass
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+            except Exception:
+                pass
+        self._matrix_shm = None
+        self._nulls_shm = None
+
+    def __enter__(self) -> "SharedRelationBuffers":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _attach(name: str, unregister: bool) -> shared_memory.SharedMemory:
+    """Attach to a named segment without adopting its ownership.
+
+    ``unregister`` must be True exactly when the attaching process has
+    its *own* resource tracker (spawn-started workers): that tracker
+    would otherwise unlink the segment at worker exit, stealing it from
+    the parent and the sibling workers.  Fork-started workers (and
+    same-process attachments) share the parent's tracker, where the
+    segment is already correctly registered once — unregistering there
+    would drop the parent's own registration.
+    """
+    shm = shared_memory.SharedMemory(name=name)
+    if unregister:
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:
+            pass
+    return shm
+
+
+class SharedRelationView:
+    """Worker-side zero-copy stand-in for a relation.
+
+    Duck-types the read-only subset of the :class:`Relation` interface
+    used by validation, redundancy counting and sampling.
+    """
+
+    __slots__ = ("n_rows", "n_cols", "_matrix", "_nulls", "_segments")
+
+    def __init__(self, spec: ShmSpec, unregister: bool = False):
+        self.n_rows = spec.n_rows
+        self.n_cols = spec.n_cols
+        matrix_shm = _attach(spec.matrix_name, unregister)
+        nulls_shm = _attach(spec.nulls_name, unregister)
+        #: Keep the SharedMemory objects alive as long as the views are.
+        self._segments: List[shared_memory.SharedMemory] = [matrix_shm, nulls_shm]
+        shape = (spec.n_rows, spec.n_cols)
+        self._matrix = np.ndarray(shape, dtype=np.int64, buffer=matrix_shm.buf)
+        self._nulls = np.ndarray(shape, dtype=bool, buffer=nulls_shm.buf)
+
+    def matrix(self) -> np.ndarray:
+        """The row-major DIIS code matrix (shared, do not write)."""
+        return self._matrix
+
+    def codes(self, attr: int) -> np.ndarray:
+        """Column ``attr``'s code array (a strided view into the matrix)."""
+        return self._matrix[:, attr]
+
+    def null_mask(self, attr: int) -> np.ndarray:
+        """Column ``attr``'s boolean null-marker mask."""
+        return self._nulls[:, attr]
+
+    def __repr__(self) -> str:
+        return f"SharedRelationView({self.n_rows} rows x {self.n_cols} cols)"

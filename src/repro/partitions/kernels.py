@@ -120,6 +120,37 @@ def _flatten(
     return rows, cids
 
 
+def flatten_clusters(
+    clusters: Sequence[Cluster],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Flatten cluster lists into ``(rows, lengths)`` index arrays.
+
+    The compact transport format used to ship partitions to pool
+    workers: two int64 arrays instead of nested Python lists.  Inverse
+    of :func:`unflatten_clusters`.
+    """
+    lengths = np.fromiter(
+        (len(c) for c in clusters), dtype=np.int64, count=len(clusters)
+    )
+    rows = np.fromiter(
+        itertools.chain.from_iterable(clusters),
+        dtype=np.int64,
+        count=int(lengths.sum()),
+    )
+    return rows, lengths
+
+
+def unflatten_clusters(rows: np.ndarray, lengths: np.ndarray) -> List[Cluster]:
+    """Rebuild cluster lists from ``(rows, lengths)`` index arrays."""
+    clusters: List[Cluster] = []
+    start = 0
+    row_list = rows.tolist()
+    for length in lengths.tolist():
+        clusters.append(row_list[start:start + length])
+        start += length
+    return clusters
+
+
 def _emit(srows: np.ndarray, starts: np.ndarray, ends: np.ndarray) -> List[Cluster]:
     """Slice sorted rows into clusters, already in canonical order.
 

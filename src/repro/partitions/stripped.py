@@ -67,6 +67,20 @@ class StrippedPartition:
     # ------------------------------------------------------------------
 
     @classmethod
+    def from_flat(
+        cls,
+        attrs: AttrSet,
+        rows: np.ndarray,
+        lengths: np.ndarray,
+        n_rows: int,
+    ) -> "StrippedPartition":
+        """Rebuild a partition from its flat ``(rows, lengths)`` transport
+        form (:func:`repro.partitions.kernels.flatten_clusters`)."""
+        return cls._from_kernel(
+            attrs, kernels.unflatten_clusters(rows, lengths), n_rows
+        )
+
+    @classmethod
     def universal(cls, relation: Relation) -> "StrippedPartition":
         """``π_∅``: one cluster of all rows (empty when |r| < 2)."""
         if relation.n_rows >= 2:

@@ -25,6 +25,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..partitions import kernels
 from ..partitions.cache import PartitionCache
 from ..partitions.stripped import StrippedPartition
 from ..relational import attrset
@@ -63,20 +64,24 @@ def redundant_rows_for_lhs(
     values are dropped before cluster sizes are re-checked.
     """
     marked = np.zeros(relation.n_rows, dtype=bool)
+    if not partition.clusters:
+        return marked
+    rows, lengths = kernels.flatten_clusters(partition.clusters)
     lhs_nulls = (
         _lhs_null_mask(relation, partition.attrs)
         if policy is NullPolicy.EXCLUDE_LHS_RHS
         else None
     )
-    for cluster in partition.clusters:
-        if lhs_nulls is None:
-            rows = cluster
-        else:
-            rows = [row for row in cluster if not lhs_nulls[row]]
-            if len(rows) < 2:
-                continue
-        for row in rows:
-            marked[row] = True
+    if lhs_nulls is None:
+        marked[rows] = True
+        return marked
+    # EXCLUDE_LHS_RHS: drop null-LHS rows, then a cluster only witnesses
+    # redundancy if at least two of its rows survive.
+    survivors = ~lhs_nulls[rows]
+    starts = np.concatenate(([0], np.cumsum(lengths[:-1])))
+    counts = np.add.reduceat(survivors.astype(np.int64), starts)
+    keep = survivors & np.repeat(counts >= 2, lengths)
+    marked[rows[keep]] = True
     return marked
 
 
@@ -102,23 +107,66 @@ def count_redundant(
     return total
 
 
+def _parallel_rows_by_lhs(
+    relation: Relation,
+    unique_lhs: Sequence[AttrSet],
+    policy: NullPolicy,
+    jobs: Optional[int],
+) -> Optional[Dict[AttrSet, np.ndarray]]:
+    """Per-LHS redundant-row masks computed across a worker pool.
+
+    Returns ``None`` whenever the serial path should run instead: jobs
+    resolve to 1, the relation or FD list is below the parallel
+    thresholds, or the pool broke (the caller recomputes serially — the
+    masks merge by OR, so the result is identical either way).
+    """
+    from .. import parallel
+    from ..parallel import config as parallel_config
+
+    n_jobs = parallel.resolve_jobs(jobs)
+    if (
+        n_jobs <= 1
+        or relation.n_rows < parallel_config.DEFAULT_MIN_PARALLEL_ROWS
+        or len(unique_lhs) < parallel_config.DEFAULT_MIN_PARALLEL_ITEMS
+    ):
+        return None
+    with parallel.ParallelExecutor(relation, jobs=n_jobs) as executor:
+        try:
+            masks = parallel.redundancy_row_masks(executor, unique_lhs, policy)
+        except parallel.PoolBrokenError:
+            return None
+    return dict(zip(unique_lhs, masks))
+
+
 def redundancy_positions(
     relation: Relation,
     cover: Iterable[FD],
     policy: NullPolicy = NullPolicy.INCLUDE,
     cache: Optional[PartitionCache] = None,
+    jobs: Optional[int] = None,
 ) -> np.ndarray:
     """Boolean ``(n_rows, n_cols)`` matrix of redundant positions.
 
     The union over the cover: a position may be redundant due to
     several FDs but is counted once (the data-set totals of Table IV).
+
+    With ``jobs`` > 1 (or a process default from ``REPRO_FD_JOBS`` /
+    ``--jobs``) the per-LHS row masks are computed by a worker pool —
+    one FD LHS per task — and OR-merged here; the result is identical
+    to the serial loop for any worker count.
     """
     if cache is None:
         cache = PartitionCache(relation)
     marked = np.zeros((relation.n_rows, relation.n_cols), dtype=bool)
-    for fd in cover:
-        partition = cache.get(fd.lhs)
-        rows = redundant_rows_for_lhs(relation, partition, policy)
+    fds = list(cover)
+    unique_lhs = list(dict.fromkeys(fd.lhs for fd in fds))
+    rows_by_lhs = _parallel_rows_by_lhs(relation, unique_lhs, policy, jobs)
+    for fd in fds:
+        if rows_by_lhs is not None:
+            rows = rows_by_lhs[fd.lhs]
+        else:
+            partition = cache.get(fd.lhs)
+            rows = redundant_rows_for_lhs(relation, partition, policy)
         for attr in attrset.iter_attrs(fd.rhs):
             if policy is NullPolicy.INCLUDE:
                 marked[:, attr] |= rows
@@ -151,12 +199,16 @@ class RedundancyReport:
         return 100.0 * self.red_including_null / self.n_values
 
 
-def dataset_redundancy(relation: Relation, cover: FDSet) -> RedundancyReport:
+def dataset_redundancy(
+    relation: Relation, cover: FDSet, jobs: Optional[int] = None
+) -> RedundancyReport:
     """Compute #values / #red / #red+0 for a relation and cover (timed)."""
     start = time.perf_counter()
     with current_tracer().span("redundancy", fds=len(cover)):
         cache = PartitionCache(relation)
-        including = redundancy_positions(relation, cover, NullPolicy.INCLUDE, cache)
+        including = redundancy_positions(
+            relation, cover, NullPolicy.INCLUDE, cache, jobs=jobs
+        )
         null_matrix = np.column_stack(
             [relation.null_mask(attr) for attr in range(relation.n_cols)]
         ) if relation.n_cols else np.zeros((relation.n_rows, 0), dtype=bool)
