@@ -43,6 +43,7 @@ from .normalize import (
 )
 from .profiling import FDProfile, markdown_report, profile
 from .ranking import NullPolicy, dataset_redundancy, rank_cover
+from .resilience import BudgetExceeded, RunBudget
 from .telemetry import (
     MetricsRegistry,
     Tracer,
@@ -66,6 +67,7 @@ from .relational import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "BudgetExceeded",
     "DHyFD",
     "DiscoveryResult",
     "FD",
@@ -83,6 +85,7 @@ __all__ = [
     "NullSemantics",
     "Relation",
     "RelationSchema",
+    "RunBudget",
     "TANE",
     "TimeLimitExceeded",
     "Tracer",

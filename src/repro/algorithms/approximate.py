@@ -23,6 +23,7 @@ from ..relational import attrset
 from ..relational.attrset import AttrSet
 from ..relational.fd import FD, FDSet
 from ..relational.relation import Relation
+from ..resilience import RunBudget
 
 
 def g3_error(relation: Relation, lhs: AttrSet, rhs_attr: int) -> float:
@@ -67,8 +68,10 @@ class ApproximateTANE(DiscoveryAlgorithm):
         error_threshold: float = 0.01,
         time_limit: Optional[float] = None,
         max_lhs_size: Optional[int] = None,
+        budget: Optional["RunBudget"] = None,
+        on_limit: str = "raise",
     ):
-        super().__init__(time_limit)
+        super().__init__(time_limit, budget=budget, on_limit=on_limit)
         if error_threshold < 0:
             raise ValueError("error threshold must be non-negative")
         self.error_threshold = error_threshold

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Set, Tuple
 
-from ..core.base import Deadline, DiscoveryAlgorithm
+from ..core.base import Deadline, DiscoveryAlgorithm, RunContext
 from ..core.result import DiscoveryStats
 from ..core.sampling import AgreeSetSampler
 from ..core.validation import validate_fd
@@ -30,8 +30,9 @@ from ..fdtree.induction import synergized_induct
 from ..partitions.stripped import StrippedPartition
 from ..relational import attrset
 from ..relational.attrset import AttrSet
-from ..relational.fd import FDSet, normalize_singleton_cover
+from ..relational.fd import FD, FDSet, normalize_singleton_cover
 from ..relational.relation import Relation
+from ..resilience import RunBudget
 from ..telemetry import current_tracer
 
 
@@ -45,6 +46,8 @@ class HyFD(DiscoveryAlgorithm):
         time_limit: Optional[float] = None,
         sample_efficiency_threshold: float = 0.01,
         invalid_switch_threshold: float = 0.2,
+        budget: Optional[RunBudget] = None,
+        on_limit: str = "raise",
     ):
         """Args:
             time_limit: optional wall-clock cap in seconds.
@@ -53,8 +56,11 @@ class HyFD(DiscoveryAlgorithm):
             invalid_switch_threshold: switch back to sampling when a
                 validation level invalidates more than this fraction of
                 its candidate FDs.
+            budget: optional :class:`~repro.resilience.RunBudget`.
+            on_limit: ``"raise"`` or ``"partial"`` — see
+                :meth:`DiscoveryAlgorithm.discover`.
         """
-        super().__init__(time_limit)
+        super().__init__(time_limit, budget=budget, on_limit=on_limit)
         self.sample_efficiency_threshold = sample_efficiency_threshold
         self.invalid_switch_threshold = invalid_switch_threshold
 
@@ -79,11 +85,41 @@ class HyFD(DiscoveryAlgorithm):
         tree.add_fd(attrset.EMPTY, all_attrs)
         applied: Set[AttrSet] = set()
 
+        #: Exactly-validated (lhs, rhs) pairs; sound forever because a
+        #: full-relation validation cannot be contradicted later.
+        confirmed: List[Tuple[AttrSet, AttrSet]] = []
+        if isinstance(deadline, RunContext):
+            deadline.stats = stats
+
+            def _partial_snapshot() -> Tuple[FDSet, FDSet]:
+                sound = normalize_singleton_cover(
+                    FD(lhs, rhs) for lhs, rhs in confirmed if rhs
+                )
+                unverified = FDSet(
+                    fd
+                    for fd in normalize_singleton_cover(tree.iter_fds())
+                    if fd not in sound
+                )
+                return sound, unverified
+
+            deadline.set_partial_provider(_partial_snapshot)
+            # HyFD retains only singleton partitions — no ladder to
+            # climb, so a tripped budget aborts (or goes partial).
+            deadline.install_memory_sentinel(
+                lambda: universal.memory_bytes()
+                + sum(p.memory_bytes() for p in singletons)
+            )
+
         # Constants first: validate ∅ -> R directly.
         root_check = validate_fd(relation, attrset.EMPTY, all_attrs, universal)
         stats.validations += 1
         stats.comparisons += root_check.comparisons
         self._induct(tree, root_check.non_fd_lhs, applied, stats, deadline)
+        confirmed.extend(
+            (node.path(), node.rhs)
+            for node in tree.nodes_at_level(0)
+            if not node.deleted and node.rhs
+        )
 
         self._sampling_phase(sampler, tree, applied, stats, deadline)
 
@@ -108,6 +144,11 @@ class HyFD(DiscoveryAlgorithm):
                     deadline.check()
             with tracer.span("induction", level=level, non_fds=len(violations)):
                 self._induct(tree, violations, applied, stats, deadline)
+            confirmed.extend(
+                (node.path(), node.rhs)
+                for node in candidates
+                if not node.deleted and node.rhs
+            )
 
             surviving = sum(
                 attrset.count(node.rhs)

@@ -17,7 +17,7 @@ from __future__ import annotations
 from itertools import combinations
 from typing import Dict, List, Tuple
 
-from ..core.base import Deadline, DiscoveryAlgorithm
+from ..core.base import Deadline, DiscoveryAlgorithm, RunContext
 from ..core.result import DiscoveryStats
 from ..partitions.stripped import StrippedPartition
 from ..relational import attrset
@@ -43,6 +43,18 @@ class TANE(DiscoveryAlgorithm):
         partitions: Dict[AttrSet, StrippedPartition] = {attrset.EMPTY: universal}
         errors: Dict[AttrSet, int] = {attrset.EMPTY: universal.error}
         cplus: Dict[AttrSet, AttrSet] = {attrset.EMPTY: all_attrs}
+
+        if isinstance(deadline, RunContext):
+            deadline.stats = stats
+            # TANE only ever records exactly-validated FDs, so the
+            # anytime snapshot is simply what has accumulated; nothing
+            # is materialized ahead of validation to report unverified.
+            deadline.set_partial_provider(lambda: (fds.copy(), FDSet()))
+            # No degradation ladder: TANE already keeps just two lattice
+            # levels alive — a tripped budget aborts (or goes partial).
+            deadline.install_memory_sentinel(
+                lambda: sum(p.memory_bytes() for p in partitions.values())
+            )
 
         level: List[AttrSet] = []
         for attr in range(n_cols):

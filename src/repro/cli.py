@@ -23,9 +23,10 @@ from .datasets.benchmarks import benchmark_names, get_spec, load_benchmark
 from . import parallel
 from .partitions import kernels
 from .profiling.profiler import profile
-from .relational.io import read_csv, write_csv
+from .relational.io import ON_BAD_ROW_POLICIES, read_csv, write_csv
 from .relational.null import NullSemantics
 from .relational.relation import Relation
+from .resilience import RunBudget, parse_bytes
 from .telemetry import Tracer, format_trace, use_tracer, write_trace_jsonl
 
 
@@ -56,7 +57,12 @@ def _load_input(args: argparse.Namespace) -> Relation:
         parallel.set_default_jobs(jobs)
     semantics = NullSemantics.parse(args.null_semantics)
     if args.csv:
-        return read_csv(args.csv, semantics=semantics, max_rows=args.rows)
+        return read_csv(
+            args.csv,
+            semantics=semantics,
+            max_rows=args.rows,
+            on_bad_row=getattr(args, "on_bad_row", "raise"),
+        )
     relation = load_benchmark(args.benchmark, n_rows=args.rows, seed=args.seed)
     if semantics is not relation.semantics:
         relation = relation.with_semantics(semantics)
@@ -102,6 +108,71 @@ def _add_input_args(parser: argparse.ArgumentParser) -> None:
         help="worker processes for validation/ranking: a count, 0 or "
         "'auto' for one per core (default: serial, or $REPRO_FD_JOBS)",
     )
+    parser.add_argument(
+        "--on-bad-row",
+        default="raise",
+        choices=list(ON_BAD_ROW_POLICIES),
+        help="ragged/undecodable CSV rows: raise (default), skip "
+        "(quarantine), or pad with nulls",
+    )
+
+
+def _parse_bytes_arg(value: str) -> int:
+    """argparse type for --memory-budget: bytes or '64m'/'1g' suffixes."""
+    try:
+        return parse_bytes(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def _add_limit_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--time-limit",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock cap for the run",
+    )
+    parser.add_argument(
+        "--memory-budget",
+        type=_parse_bytes_arg,
+        default=None,
+        metavar="BYTES",
+        help="partition-memory budget (plain bytes or '64m'/'1g'; "
+        "default: $REPRO_FD_MEMORY_BUDGET); pressure degrades the run "
+        "before aborting",
+    )
+    parser.add_argument(
+        "--on-limit",
+        default="raise",
+        choices=["raise", "partial"],
+        help="what a tripped limit does: fail the run (raise, default) "
+        "or return the sound partial cover (partial)",
+    )
+
+
+def _limit_kwargs(args: argparse.Namespace) -> dict:
+    """Algorithm kwargs from the --time-limit/--memory-budget/--on-limit flags."""
+    kwargs = {
+        "time_limit": args.time_limit,
+        "on_limit": getattr(args, "on_limit", "raise"),
+    }
+    memory_budget = getattr(args, "memory_budget", None)
+    if memory_budget is not None:
+        kwargs["budget"] = RunBudget(
+            time_limit=args.time_limit, memory_limit_bytes=memory_budget
+        )
+    return kwargs
+
+
+def _print_partial_notice(result) -> None:
+    """One-line warning when a limit turned the run into a partial result."""
+    if not result.completed:
+        print(
+            f"PARTIAL RESULT ({result.limit_reason} limit): "
+            f"{result.fd_count} FDs verified sound, "
+            f"{len(result.unverified)} candidates unverified"
+        )
 
 
 def _add_trace_args(parser: argparse.ArgumentParser) -> None:
@@ -144,7 +215,7 @@ def _finish_trace(tracer: Optional[Tracer], args: argparse.Namespace) -> None:
 
 def _cmd_discover(args: argparse.Namespace) -> int:
     relation = _load_input(args)
-    algo = make_algorithm(args.algorithm, time_limit=args.time_limit)
+    algo = make_algorithm(args.algorithm, **_limit_kwargs(args))
     tracer = _make_tracer(args)
     context = use_tracer(tracer) if tracer is not None else contextlib.nullcontext()
     with context:
@@ -154,6 +225,7 @@ def _cmd_discover(args: argparse.Namespace) -> int:
         f"{result.elapsed_seconds:.3f}s on {relation.n_rows} rows x "
         f"{relation.n_cols} cols"
     )
+    _print_partial_notice(result)
     if args.show_fds:
         for line in result.format_fds():
             print(" ", line)
@@ -167,12 +239,15 @@ def _cmd_rank(args: argparse.Namespace) -> int:
     outcome = profile(
         relation,
         algorithm=args.algorithm,
-        time_limit=args.time_limit,
         trace=tracer or False,
+        **_limit_kwargs(args),
     )
     print(outcome.summary())
     print()
-    assert outcome.ranking is not None
+    if outcome.ranking is None:
+        print("(ranking skipped: the time limit ran out before it finished)")
+        _finish_trace(tracer, args)
+        return 0
     top = outcome.ranking.top(args.top)
     rows = [
         (
@@ -189,8 +264,9 @@ def _cmd_rank(args: argparse.Namespace) -> int:
 
 def _cmd_covers(args: argparse.Namespace) -> int:
     relation = _load_input(args)
-    algo = make_algorithm(args.algorithm, time_limit=args.time_limit)
+    algo = make_algorithm(args.algorithm, **_limit_kwargs(args))
     result = algo.discover(relation)
+    _print_partial_notice(result)
     _, comparison = compare_covers(result.fds)
     rows = [
         ("left-reduced |Σ|", comparison.left_reduced_count),
@@ -209,7 +285,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from .profiling.report import markdown_report
 
     relation = _load_input(args)
-    outcome = profile(relation, algorithm=args.algorithm, time_limit=args.time_limit)
+    outcome = profile(relation, algorithm=args.algorithm, **_limit_kwargs(args))
     text = markdown_report(outcome, title=args.title)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
@@ -232,8 +308,9 @@ def _cmd_normalize(args: argparse.Namespace) -> int:
     from .covers.canonical import canonical_cover
 
     relation = _load_input(args)
-    algo = make_algorithm(args.algorithm, time_limit=args.time_limit)
+    algo = make_algorithm(args.algorithm, **_limit_kwargs(args))
     discovered = algo.discover(relation)
+    _print_partial_notice(discovered)
     cover = list(canonical_cover(discovered.fds))
     n_cols = relation.n_cols
     schema = relation.schema
@@ -330,7 +407,7 @@ def build_parser() -> argparse.ArgumentParser:
     discover = sub.add_parser("discover", help="run FD discovery")
     _add_input_args(discover)
     discover.add_argument("--algorithm", default="dhyfd", choices=algorithm_names())
-    discover.add_argument("--time-limit", type=float, default=None)
+    _add_limit_args(discover)
     discover.add_argument("--show-fds", action="store_true")
     _add_trace_args(discover)
     discover.set_defaults(handler=_cmd_discover)
@@ -338,7 +415,7 @@ def build_parser() -> argparse.ArgumentParser:
     rank = sub.add_parser("rank", help="discover + canonical cover + ranking")
     _add_input_args(rank)
     rank.add_argument("--algorithm", default="dhyfd", choices=algorithm_names())
-    rank.add_argument("--time-limit", type=float, default=None)
+    _add_limit_args(rank)
     rank.add_argument("--top", type=int, default=15)
     _add_trace_args(rank)
     rank.set_defaults(handler=_cmd_rank)
@@ -346,13 +423,13 @@ def build_parser() -> argparse.ArgumentParser:
     covers = sub.add_parser("covers", help="left-reduced vs canonical cover")
     _add_input_args(covers)
     covers.add_argument("--algorithm", default="dhyfd", choices=algorithm_names())
-    covers.add_argument("--time-limit", type=float, default=None)
+    _add_limit_args(covers)
     covers.set_defaults(handler=_cmd_covers)
 
     report = sub.add_parser("report", help="full markdown data profile")
     _add_input_args(report)
     report.add_argument("--algorithm", default="dhyfd", choices=algorithm_names())
-    report.add_argument("--time-limit", type=float, default=None)
+    _add_limit_args(report)
     report.add_argument("--title", default="Data profile")
     report.add_argument("--output", default=None, help="write to file")
     report.set_defaults(handler=_cmd_report)
@@ -362,7 +439,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_input_args(normalize)
     normalize.add_argument("--algorithm", default="dhyfd", choices=algorithm_names())
-    normalize.add_argument("--time-limit", type=float, default=None)
+    _add_limit_args(normalize)
     normalize.add_argument("--top", type=int, default=10)
     normalize.set_defaults(handler=_cmd_normalize)
 

@@ -1,22 +1,37 @@
-"""Common driver for FD-discovery algorithms: timing, time limits.
+"""Common driver for FD-discovery algorithms: timing, limits, budgets.
 
 Every algorithm (DHyFD and the baselines in :mod:`repro.algorithms`)
 subclasses :class:`DiscoveryAlgorithm` and implements ``_find_fds``.
-The base class measures wall-clock time and converts a configured time
-limit into a deadline the subclass polls — reproducing the paper's
-"TL" (time limit) entries in Table II.
+The base class measures wall-clock time and converts the configured
+limits into a :class:`RunContext` the subclass polls — reproducing the
+paper's "TL" (time limit) entries in Table II, and adding the
+resilience layer's memory budget and anytime-partial semantics (see
+:mod:`repro.resilience` and ``docs/resilience.md``).
+
+``on_limit`` selects what a tripped limit does: ``"raise"`` (default)
+propagates :class:`TimeLimitExceeded` /
+:class:`~repro.resilience.BudgetExceeded`; ``"partial"`` returns a
+:class:`~repro.core.result.DiscoveryResult` with ``completed=False``,
+the *sound* subset of the cover (FDs fully validated against the
+relation before the limit hit) and the still-``unverified`` candidates.
 """
 
 from __future__ import annotations
 
 import abc
 import time
-from typing import Optional, Tuple
+from dataclasses import replace
+from typing import Callable, Optional, Tuple
 
 from ..relational.fd import FDSet
 from ..relational.relation import Relation
+from ..resilience import BudgetExceeded, MemorySentinel, RunBudget
+from ..resilience import faults
 from ..telemetry import current_tracer
 from .result import DiscoveryResult, DiscoveryStats
+
+#: Valid ``on_limit`` policies.
+ON_LIMIT_POLICIES = ("raise", "partial")
 
 
 class TimeLimitExceeded(Exception):
@@ -36,12 +51,91 @@ class Deadline:
     def __init__(self, limit_seconds: Optional[float], algorithm: str):
         self.limit_seconds = limit_seconds
         self.algorithm = algorithm
-        self.at = None if limit_seconds is None else time.monotonic() + limit_seconds
+        # Zero and negative limits clamp to "already expired": the first
+        # check trips instead of the limit silently never firing.
+        self.at = (
+            None
+            if limit_seconds is None
+            else time.monotonic() + max(0.0, limit_seconds)
+        )
 
     def check(self) -> None:
         """Raise :class:`TimeLimitExceeded` once the deadline has passed."""
-        if self.at is not None and time.monotonic() > self.at:
+        if self.at is not None and time.monotonic() >= self.at:
             raise TimeLimitExceeded(self.algorithm, self.limit_seconds or 0.0)
+
+
+class RunContext:
+    """Per-run limit state: deadline, memory sentinel, anytime channel.
+
+    Quacks like :class:`Deadline` — algorithm inner loops poll one
+    ``check()`` that covers the wall clock, the memory budget and the
+    deterministic ``limit.deadline`` fault point.  Algorithms that can
+    degrade install a sentinel (with their degradation ladder) and a
+    *partial provider* returning the sound/unverified split used when
+    ``on_limit="partial"`` turns a tripped limit into a partial result.
+    """
+
+    __slots__ = ("algorithm", "budget", "deadline", "sentinel", "stats", "_partial")
+
+    def __init__(self, algorithm: str, budget: RunBudget):
+        self.algorithm = algorithm
+        self.budget = budget
+        self.deadline = Deadline(budget.time_limit, algorithm)
+        self.sentinel: Optional[MemorySentinel] = None
+        #: Stats object attached by the running algorithm so partial
+        #: results keep the work counters accumulated before the limit.
+        self.stats: Optional[DiscoveryStats] = None
+        self._partial: Optional[Callable[[], Tuple[FDSet, FDSet]]] = None
+
+    def check(self) -> None:
+        """Poll every limit; raises on the first one exceeded."""
+        if faults.armed() and faults.should_fire("limit.deadline"):
+            raise TimeLimitExceeded(
+                self.algorithm, self.budget.time_limit or 0.0
+            )
+        self.deadline.check()
+        if self.sentinel is not None:
+            self.sentinel.check()
+
+    def install_memory_sentinel(
+        self, probe: Callable[[], int], floor_bytes: Optional[int] = None
+    ) -> Optional[MemorySentinel]:
+        """Install a sentinel when the budget limits memory (else None).
+
+        ``floor_bytes`` defaults to the probe's value at install time —
+        the irreducible baseline the sentinel tolerates after its
+        degradation ladder is exhausted.
+        """
+        if not self.budget.limits_memory:
+            return None
+        self.sentinel = MemorySentinel(
+            self.budget,
+            probe,
+            self.algorithm,
+            floor_bytes=probe() if floor_bytes is None else floor_bytes,
+        )
+        return self.sentinel
+
+    def set_partial_provider(
+        self, provider: Callable[[], Tuple[FDSet, FDSet]]
+    ) -> None:
+        """Register the (sound cover, unverified FDs) snapshot function."""
+        self._partial = provider
+
+    def partial_cover(self) -> Tuple[FDSet, FDSet]:
+        """The anytime snapshot; empty covers when nothing was recorded."""
+        if self._partial is None:
+            return FDSet(), FDSet()
+        return self._partial()
+
+
+def _limit_reason(exc: BaseException) -> str:
+    if isinstance(exc, TimeLimitExceeded):
+        return "time"
+    if isinstance(exc, BudgetExceeded):
+        return exc.resource
+    return "memory"  # a raw MemoryError that escaped the degradation ladder
 
 
 class DiscoveryAlgorithm(abc.ABC):
@@ -50,24 +144,66 @@ class DiscoveryAlgorithm(abc.ABC):
     #: Short identifier used in reports ("tane", "hyfd", "dhyfd", ...).
     name: str = "abstract"
 
-    def __init__(self, time_limit: Optional[float] = None):
+    def __init__(
+        self,
+        time_limit: Optional[float] = None,
+        budget: Optional[RunBudget] = None,
+        on_limit: str = "raise",
+    ):
+        if on_limit not in ON_LIMIT_POLICIES:
+            raise ValueError(
+                f"on_limit must be one of {ON_LIMIT_POLICIES}, got {on_limit!r}"
+            )
         self.time_limit = time_limit
+        self.budget = budget
+        self.on_limit = on_limit
+
+    def _run_budget(self) -> RunBudget:
+        """The effective budget: explicit > environment defaults."""
+        if self.budget is not None:
+            if self.budget.time_limit is None and self.time_limit is not None:
+                return replace(self.budget, time_limit=self.time_limit)
+            return self.budget
+        return RunBudget.from_env(time_limit=self.time_limit)
 
     def discover(self, relation: Relation) -> DiscoveryResult:
         """Run discovery and return the timed result.
 
-        Raises :class:`TimeLimitExceeded` when a time limit was set and
-        hit; callers that want "TL" table entries catch it.
+        With ``on_limit="raise"`` a tripped limit propagates
+        :class:`TimeLimitExceeded` or
+        :class:`~repro.resilience.BudgetExceeded` (callers that want
+        "TL" table entries catch them).  With ``on_limit="partial"``
+        the result instead reports ``completed=False``, the sound
+        subset of the cover, and the ``unverified`` remainder.
         """
-        deadline = Deadline(self.time_limit, self.name)
+        context = RunContext(self.name, self._run_budget())
+        tracer = current_tracer()
         start = time.perf_counter()
-        with current_tracer().span(
+        completed = True
+        unverified = FDSet()
+        limit_reason: Optional[str] = None
+        with tracer.span(
             "discovery",
             algorithm=self.name,
             rows=relation.n_rows,
             cols=relation.n_cols,
         ):
-            fds, stats = self._find_fds(relation, deadline)
+            try:
+                fds, stats = self._find_fds(relation, context)
+            except (TimeLimitExceeded, BudgetExceeded, MemoryError) as exc:
+                if self.on_limit != "partial":
+                    raise
+                fds, unverified = context.partial_cover()
+                stats = context.stats if context.stats is not None else DiscoveryStats()
+                completed = False
+                limit_reason = _limit_reason(exc)
+                tracer.event(
+                    "partial_result",
+                    algorithm=self.name,
+                    reason=limit_reason,
+                    sound_fds=len(fds),
+                    unverified=len(unverified),
+                )
         elapsed = time.perf_counter() - start
         return DiscoveryResult(
             algorithm=self.name,
@@ -75,13 +211,21 @@ class DiscoveryAlgorithm(abc.ABC):
             fds=fds,
             elapsed_seconds=elapsed,
             stats=stats,
+            completed=completed,
+            unverified=unverified,
+            limit_reason=limit_reason,
         )
 
     @abc.abstractmethod
     def _find_fds(
-        self, relation: Relation, deadline: Deadline
+        self, relation: Relation, deadline: "RunContext"
     ) -> Tuple[FDSet, DiscoveryStats]:
-        """Compute the cover; poll ``deadline.check()`` in long loops."""
+        """Compute the cover; poll ``deadline.check()`` in long loops.
+
+        ``deadline`` is a :class:`RunContext` when invoked through
+        :meth:`discover`; tests may pass a bare :class:`Deadline`, so
+        subclasses must treat context-only features as optional.
+        """
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"

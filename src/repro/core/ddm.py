@@ -32,6 +32,7 @@ from ..partitions.stripped import StrippedPartition
 from ..relational import attrset
 from ..relational.attrset import AttrSet
 from ..relational.relation import Relation
+from ..resilience import faults
 
 
 class DynamicDataManager:
@@ -81,6 +82,10 @@ class DynamicDataManager:
         ``"stale"`` (dynamic id inconsistent with the node's path).
         """
         if node.id >= self.n_cols:
+            if faults.armed() and faults.should_fire("ddm.stale"):
+                # Chaos hook: pretend the dynamic id went stale so the
+                # singleton fallback path gets exercised on demand.
+                return self.best_singleton(node.path()), "stale"
             index = node.id - self.n_cols
             if index < len(self.dynamic):
                 partition = self.dynamic[index]
@@ -163,6 +168,18 @@ class DynamicDataManager:
     def dynamic_memory_bytes(self) -> int:
         """Bytes held by the dynamic array only (DHyFD's extra memory)."""
         return sum(p.memory_bytes() for p in self.dynamic)
+
+    def shed_dynamic(self) -> int:
+        """Drop every dynamic partition; returns the bytes freed.
+
+        Degradation hook for the memory sentinel: correctness is
+        unaffected because stale dynamic ids resolve to singleton
+        fallbacks — only validation speed suffers.
+        """
+        freed = self.dynamic_memory_bytes()
+        self.evictions += len(self.dynamic)
+        self.dynamic = []
+        return freed
 
 
 def _assign_id_to_subtree(node: ExtFDNode, node_id: int) -> None:

@@ -23,15 +23,30 @@ from ..parallel import merge_validation_outcomes
 from ..parallel import validate_level as parallel_validate_level
 from ..relational import attrset
 from ..relational.attrset import AttrSet
-from ..relational.fd import FDSet, normalize_singleton_cover
+from ..relational.fd import FD, FDSet, normalize_singleton_cover
 from ..relational.relation import Relation
+from ..resilience import RunBudget
 from ..telemetry import current_tracer
-from .base import Deadline, DiscoveryAlgorithm
+from .base import Deadline, DiscoveryAlgorithm, RunContext
 from .ddm import DynamicDataManager
 from .ratio import DEFAULT_RATIO_THRESHOLD, LevelDecision
 from .result import DiscoveryStats
 from .sampling import initial_sample
 from .validation import ValidationResult, validate_fd
+
+
+class _DegradationState:
+    """Run-local flags the memory sentinel's ladder flips."""
+
+    __slots__ = ("no_refine",)
+
+    def __init__(self) -> None:
+        self.no_refine = False
+
+    def disable_refinement(self) -> int:
+        """Pin the ratio decision to "don't spend"; frees nothing itself."""
+        self.no_refine = True
+        return 0
 
 
 class DHyFD(DiscoveryAlgorithm):
@@ -49,6 +64,8 @@ class DHyFD(DiscoveryAlgorithm):
         jobs: Optional[int] = None,
         parallel_min_rows: Optional[int] = None,
         parallel_min_candidates: Optional[int] = None,
+        budget: Optional[RunBudget] = None,
+        on_limit: str = "raise",
     ):
         """Args:
             ratio_threshold: efficiency/inefficiency level above which
@@ -72,8 +89,14 @@ class DHyFD(DiscoveryAlgorithm):
                 (``None`` uses the :mod:`repro.parallel.config` default).
             parallel_min_candidates: don't dispatch a level with fewer
                 validated candidates than this.
+            budget: optional :class:`~repro.resilience.RunBudget`
+                (memory/RSS ceilings enforced via a degradation ladder:
+                evict refined partitions → pin no-refinement → shrink
+                the worker pool → abort).
+            on_limit: ``"raise"`` (default) or ``"partial"`` — see
+                :meth:`DiscoveryAlgorithm.discover`.
         """
-        super().__init__(time_limit)
+        super().__init__(time_limit, budget=budget, on_limit=on_limit)
         self.ratio_threshold = ratio_threshold
         self.enable_ddm_updates = enable_ddm_updates
         self.enable_initial_sampling = enable_initial_sampling
@@ -120,6 +143,40 @@ class DHyFD(DiscoveryAlgorithm):
         tree = ExtendedFDTree(n_cols)
         tree.add_fd(attrset.EMPTY, all_attrs)
 
+        # --- resilience wiring (active only when driven by discover())
+        degraded = _DegradationState()
+        #: Exactly-validated (lhs, rhs) pairs — the sound anytime core.
+        #: Full-relation validation is definitive, so entries never need
+        #: to be retracted when later levels find more violations.
+        confirmed: List[Tuple[AttrSet, AttrSet]] = []
+
+        def _partial_snapshot() -> Tuple[FDSet, FDSet]:
+            sound = normalize_singleton_cover(
+                FD(lhs, rhs) for lhs, rhs in confirmed if rhs
+            )
+            unverified = FDSet(
+                fd
+                for fd in normalize_singleton_cover(tree.iter_fds())
+                if fd not in sound
+            )
+            return sound, unverified
+
+        if isinstance(deadline, RunContext):
+            deadline.stats = stats
+            deadline.set_partial_provider(_partial_snapshot)
+            sentinel = deadline.install_memory_sentinel(ddm.memory_bytes)
+            if sentinel is not None:
+                sentinel.add_stage(
+                    "evict_refined_partitions", ddm.shed_dynamic
+                )
+                sentinel.add_stage(
+                    "disable_refinement", degraded.disable_refinement
+                )
+                sentinel.add_stage(
+                    "shrink_worker_pool",
+                    (lambda: executor.disable()) if executor is not None else (lambda: 0),
+                )
+
         # --- one-shot sampling plus root validation (Alg. 6 lines 5-6)
         violations: Set[AttrSet] = set()
         if self.enable_initial_sampling:
@@ -142,6 +199,13 @@ class DHyFD(DiscoveryAlgorithm):
         applied: Set[AttrSet] = set()
         with tracer.span("induction", level=0, non_fds=len(violations)):
             self._induct_all(tree, violations, applied, 0, 0, None, stats, deadline)
+        # Root candidates were exactly validated against ddm.universal:
+        # whatever RHS survives induction is sound.
+        confirmed.extend(
+            (node.path(), node.rhs)
+            for node in tree.nodes_at_level(0)
+            if not node.deleted and node.rhs
+        )
 
         controlled_level = 1
         validation_level = 1
@@ -185,6 +249,12 @@ class DHyFD(DiscoveryAlgorithm):
                 )
 
             live = [node for node in candidates if not node.deleted]
+            # Every live (path, rhs) at this level was exactly validated
+            # (violations already inducted away) — snapshot for anytime
+            # partial results before any limit can trip below.
+            confirmed.extend(
+                (node.path(), node.rhs) for node in live if node.rhs
+            )
             reusables = [node for node in live if node.children]
             valid_here = sum(attrset.count(node.rhs) for node in live)
             validated_fds += valid_here
@@ -205,8 +275,10 @@ class DHyFD(DiscoveryAlgorithm):
                     "ratio": min(decision.ratio, 1e9),
                 }
             )
-            refresh = self.enable_ddm_updates and decision.should_update(
-                self.ratio_threshold
+            refresh = (
+                self.enable_ddm_updates
+                and not degraded.no_refine
+                and decision.should_update(self.ratio_threshold)
             )
             tracer.event(
                 "ratio_decision",
@@ -219,13 +291,31 @@ class DHyFD(DiscoveryAlgorithm):
                 refresh=refresh,
             )
             if refresh:
-                controlled_level = validation_level
                 with tracer.span(
                     "refinement", level=validation_level, nodes=len(reusables)
                 ) as span:
-                    ddm.update(reusables)
-                    span.annotate(memory_bytes=ddm.dynamic_memory_bytes())
-                stats.partition_refreshes += 1
+                    try:
+                        ddm.update(reusables)
+                    except MemoryError:
+                        # Refinement is a pure optimization: shed the
+                        # (possibly half-built) dynamic array — stale
+                        # ids degrade to singleton fallbacks — and stop
+                        # spending memory for the rest of the run.
+                        freed = ddm.shed_dynamic()
+                        degraded.disable_refinement()
+                        span.annotate(failed=True, freed=freed)
+                        tracer.event(
+                            "degradation",
+                            stage="refinement_failed",
+                            resource="memory",
+                            usage=ddm.memory_bytes(),
+                            limit=0,
+                            freed=freed,
+                        )
+                    else:
+                        controlled_level = validation_level
+                        stats.partition_refreshes += 1
+                        span.annotate(memory_bytes=ddm.dynamic_memory_bytes())
             stats.partition_memory_peak_bytes = max(
                 stats.partition_memory_peak_bytes, ddm.memory_bytes()
             )

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..relational.fd import FD, FDSet
 from ..relational.relation import Relation
@@ -52,6 +52,13 @@ class DiscoveryResult:
 
     ``fds`` holds singleton-RHS FDs (the output form of the surveyed
     algorithms); use :mod:`repro.covers` to derive canonical covers.
+
+    When a run was cut short by a limit under ``on_limit="partial"``,
+    ``completed`` is False, ``fds`` holds only the *sound* subset (FDs
+    fully validated against the relation before the limit tripped),
+    ``unverified`` the candidates the run never got to confirm, and
+    ``limit_reason`` names the tripped resource (``"time"``,
+    ``"memory"`` or ``"rss"``).
     """
 
     algorithm: str
@@ -60,6 +67,9 @@ class DiscoveryResult:
     elapsed_seconds: float = 0.0
     peak_memory_bytes: int = 0
     stats: DiscoveryStats = field(default_factory=DiscoveryStats)
+    completed: bool = True
+    unverified: FDSet = field(default_factory=FDSet)
+    limit_reason: Optional[str] = None
 
     @property
     def fd_count(self) -> int:
@@ -76,7 +86,10 @@ class DiscoveryResult:
         return self.fds.format(self.schema)
 
     def __repr__(self) -> str:
+        suffix = "" if self.completed else (
+            f", partial/{self.limit_reason}: {len(self.unverified)} unverified"
+        )
         return (
             f"DiscoveryResult({self.algorithm}: {self.fd_count} FDs in "
-            f"{self.elapsed_seconds:.3f}s)"
+            f"{self.elapsed_seconds:.3f}s{suffix})"
         )

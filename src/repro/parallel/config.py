@@ -37,6 +37,12 @@ DEFAULT_MIN_PARALLEL_ITEMS = 4
 #: Minimum work items bundled into one pool task (dispatch amortization).
 DEFAULT_MIN_BATCH = 8
 
+#: Pool-failure retry attempts before falling back to the serial path.
+DEFAULT_POOL_RETRIES = 2
+
+#: Base backoff (seconds) between pool retries; scaled by attempt number.
+DEFAULT_POOL_RETRY_BACKOFF = 0.05
+
 _default_jobs: Optional[int] = None
 
 

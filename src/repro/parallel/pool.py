@@ -22,10 +22,15 @@ Failure model
 -------------
 
 Any pool-level failure — a worker killed mid-task, a failed fork, an
-unpicklable payload — marks the executor *broken*, emits a
-``parallel_fallback`` telemetry event and raises
-:class:`PoolBrokenError`.  Call sites catch it and rerun the same work
-serially: a dying worker degrades throughput, never the result.
+unpicklable payload — first gets a bounded retry: the pool is torn
+down (the shared-memory buffers are kept), the parent backs off
+briefly, emits a ``pool_retry`` telemetry event, and replays the whole
+batch set on a fresh pool.  Only when every attempt fails is the
+executor marked *broken*, a ``parallel_fallback`` event emitted and
+:class:`PoolBrokenError` raised.  Call sites catch it and rerun the
+same work serially: a dying worker degrades throughput, never the
+result.  Batch results and worker telemetry are only consumed after a
+fully successful attempt, so retries cannot double-count.
 
 Telemetry
 ---------
@@ -44,6 +49,7 @@ from __future__ import annotations
 import math
 import multiprocessing as mp
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -52,14 +58,21 @@ import numpy as np
 from ..partitions import kernels
 from ..relational import attrset
 from ..relational.attrset import AttrSet
+from ..resilience import faults
 from ..telemetry import Tracer, current_tracer, use_tracer
-from .config import DEFAULT_MIN_BATCH, resolve_jobs
+from .config import (
+    DEFAULT_MIN_BATCH,
+    DEFAULT_POOL_RETRIES,
+    DEFAULT_POOL_RETRY_BACKOFF,
+    resolve_jobs,
+)
 from .merge import pack_row_mask, unpack_row_mask
 from .shm import SharedRelationBuffers, SharedRelationView
 
-#: Setting this to ``"crash"`` makes every worker batch hard-exit before
-#: doing any work — a fault-injection hook for the fallback tests.
-ENV_FAULT_INJECT = "REPRO_FD_FAULT_INJECT"
+#: Legacy spelling of the ``worker.crash`` fault point: setting this to
+#: ``"crash"`` makes every worker batch hard-exit before doing any work.
+#: Kept for compatibility; see :mod:`repro.resilience.faults`.
+ENV_FAULT_INJECT = faults.ENV_FAULT_INJECT_LEGACY
 
 
 class PoolBrokenError(RuntimeError):
@@ -158,7 +171,7 @@ _HANDLERS = {
 
 def _run_batch(payload: dict) -> dict:
     """Worker entry point: execute one batch, optionally under a tracer."""
-    if os.environ.get(ENV_FAULT_INJECT) == "crash":
+    if faults.armed() and faults.should_fire("worker.crash"):
         os._exit(86)
     tracer = Tracer() if payload["collect"] else None
     handler = _HANDLERS[payload["kind"]]
@@ -222,6 +235,8 @@ class ParallelExecutor:
         jobs: Optional[int] = None,
         backend: Optional[str] = None,
         min_batch: Optional[int] = None,
+        retries: Optional[int] = None,
+        retry_backoff: Optional[float] = None,
     ):
         self.relation = relation
         self.jobs = resolve_jobs(jobs)
@@ -229,7 +244,12 @@ class ParallelExecutor:
         #: even under spawn (which re-imports and would re-read the env).
         self.backend = kernels.resolve_backend(backend)
         self.min_batch = DEFAULT_MIN_BATCH if min_batch is None else max(1, min_batch)
+        self.retries = DEFAULT_POOL_RETRIES if retries is None else max(0, retries)
+        self.retry_backoff = (
+            DEFAULT_POOL_RETRY_BACKOFF if retry_backoff is None else retry_backoff
+        )
         self.broken = False
+        self.disabled = False
         self.batches_dispatched = 0
         self.items_dispatched = 0
         self._buffers: Optional[SharedRelationBuffers] = None
@@ -237,13 +257,27 @@ class ParallelExecutor:
 
     @property
     def active(self) -> bool:
-        """True while the executor can accept work (jobs > 1, not broken)."""
-        return self.jobs > 1 and not self.broken
+        """True while the executor can accept work (jobs > 1, healthy)."""
+        return self.jobs > 1 and not self.broken and not self.disabled
+
+    def disable(self) -> int:
+        """Degradation hook: shut the pool down and refuse further work.
+
+        Unlike a broken pool this is deliberate — the memory sentinel's
+        last ladder rung trades parallel throughput for the worker
+        processes' memory.  Returns 0 (frees no *tracked* bytes).
+        """
+        if not self.disabled:
+            self.disabled = True
+            self._shutdown()
+            current_tracer().event("parallel_disabled", jobs=self.jobs)
+        return 0
 
     def _ensure_pool(self) -> None:
         if self._pool is not None:
             return
-        self._buffers = SharedRelationBuffers(self.relation)
+        if self._buffers is None:
+            self._buffers = SharedRelationBuffers(self.relation)
         method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
         self._pool = ProcessPoolExecutor(
             max_workers=self.jobs,
@@ -272,42 +306,78 @@ class ParallelExecutor:
         """
         if not self.active:
             raise PoolBrokenError(
-                f"executor inactive (jobs={self.jobs}, broken={self.broken})"
+                f"executor inactive (jobs={self.jobs}, broken={self.broken}, "
+                f"disabled={self.disabled})"
             )
         tracer = current_tracer()
         collect = bool(tracer.enabled)
-        try:
-            self._ensure_pool()
-            batch_size = self.min_batch if min_batch is None else max(1, min_batch)
-            batches = chunk_items(items, self.jobs, batch_size, batches_per_worker)
-            futures = [
-                self._pool.submit(
-                    _run_batch,
-                    {
-                        "kind": kind,
-                        "backend": self.backend,
-                        "collect": collect,
-                        "items": list(batch),
-                        **(extra or {}),
-                    },
+        batch_size = self.min_batch if min_batch is None else max(1, min_batch)
+        for attempt in range(1 + self.retries):
+            try:
+                return self._run_once(
+                    kind, items, extra, batch_size, batches_per_worker,
+                    tracer, collect,
                 )
-                for batch in batches
-            ]
-            merged: list = []
-            for future in futures:
-                reply = future.result()
-                merged.extend(reply["results"])
-                _replay_summary(tracer, reply["telemetry"])
-            self.batches_dispatched += len(batches)
-            self.items_dispatched += len(items)
-            return merged
-        except PoolBrokenError:
-            raise
-        except Exception as exc:
-            self._mark_broken(kind, exc)
-            raise PoolBrokenError(
-                f"worker pool failed during {kind!r}: {exc!r}"
-            ) from exc
+            except PoolBrokenError:
+                raise
+            except Exception as exc:
+                if attempt < self.retries:
+                    tracer.event(
+                        "pool_retry",
+                        kind=kind,
+                        attempt=attempt + 1,
+                        retries=self.retries,
+                        jobs=self.jobs,
+                        error=type(exc).__name__,
+                    )
+                    self._teardown_pool()
+                    time.sleep(self.retry_backoff * (attempt + 1))
+                else:
+                    self._mark_broken(kind, exc)
+                    raise PoolBrokenError(
+                        f"worker pool failed during {kind!r} after "
+                        f"{1 + self.retries} attempts: {exc!r}"
+                    ) from exc
+
+    def _run_once(
+        self,
+        kind: str,
+        items: Sequence,
+        extra: Optional[Dict[str, object]],
+        batch_size: int,
+        batches_per_worker: int,
+        tracer,
+        collect: bool,
+    ) -> list:
+        """One full dispatch attempt; telemetry replays only on success."""
+        self._ensure_pool()
+        batches = chunk_items(items, self.jobs, batch_size, batches_per_worker)
+        futures = [
+            self._pool.submit(
+                _run_batch,
+                {
+                    "kind": kind,
+                    "backend": self.backend,
+                    "collect": collect,
+                    "items": list(batch),
+                    **(extra or {}),
+                },
+            )
+            for batch in batches
+        ]
+        merged: list = []
+        summaries: List[Optional[dict]] = []
+        for future in futures:
+            reply = future.result()
+            merged.extend(reply["results"])
+            summaries.append(reply["telemetry"])
+        # Replay worker telemetry only after every batch came back — a
+        # retried attempt must not double-count partial successes.
+        for summary in summaries:
+            _replay_summary(tracer, summary)
+        self.batches_dispatched += len(batches)
+        self.items_dispatched += len(items)
+        return merged
 
     def _mark_broken(self, kind: str, exc: Exception) -> None:
         self.broken = True
@@ -319,13 +389,21 @@ class ParallelExecutor:
         )
         self._shutdown()
 
-    def _shutdown(self) -> None:
+    def _teardown_pool(self) -> None:
+        """Kill the worker pool but keep the shared-memory buffers.
+
+        Used between retry attempts: rebuilding the pool is cheap, the
+        relation copy in shared memory is not.
+        """
         if self._pool is not None:
             try:
                 self._pool.shutdown(wait=True, cancel_futures=True)
             except Exception:
                 pass
             self._pool = None
+
+    def _shutdown(self) -> None:
+        self._teardown_pool()
         if self._buffers is not None:
             self._buffers.close()
             self._buffers = None

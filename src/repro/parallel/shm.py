@@ -35,6 +35,8 @@ from typing import List, Optional
 
 import numpy as np
 
+from ..resilience import faults
+
 
 @dataclass(frozen=True)
 class ShmSpec:
@@ -113,6 +115,10 @@ def _attach(name: str, unregister: bool) -> shared_memory.SharedMemory:
     segment is already correctly registered once — unregistering there
     would drop the parent's own registration.
     """
+    faults.fire(
+        "shm.attach",
+        lambda: RuntimeError("injected shared-memory attach failure"),
+    )
     shm = shared_memory.SharedMemory(name=name)
     if unregister:
         try:

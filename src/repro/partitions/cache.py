@@ -120,6 +120,31 @@ class PartitionCache:
         self.evictions += len(victims)
         self._evict_counter.inc(len(victims))
 
+    def shed_coarsest(self, target_bytes: Optional[int] = None) -> int:
+        """Evict multi-attribute entries, widest first; returns bytes freed.
+
+        Degradation hook for the memory sentinel: drops the cached
+        partitions with the most attributes (the deepest, most
+        re-derivable entries) until usage falls to ``target_bytes``
+        (everything multi-attribute when None).  Singleton and empty
+        partitions are never evicted — they are the rebuild seeds.
+        """
+        victims = sorted(
+            (a for a in self._store if attrset.count(a) > 1),
+            key=attrset.count,
+            reverse=True,
+        )
+        freed = 0
+        usage = self.memory_bytes() if target_bytes is not None else None
+        for victim in victims:
+            if usage is not None and usage - freed <= target_bytes:
+                break
+            freed += self._store[victim].memory_bytes()
+            del self._store[victim]
+            self.evictions += 1
+            self._evict_counter.inc()
+        return freed
+
     def _best_subset(self, attrs: AttrSet) -> StrippedPartition:
         """The cached partition over the largest subset of ``attrs``.
 

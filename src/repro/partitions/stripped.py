@@ -30,6 +30,7 @@ import numpy as np
 from ..relational import attrset
 from ..relational.attrset import AttrSet
 from ..relational.relation import Relation
+from ..resilience import faults
 from . import kernels
 
 Cluster = List[int]
@@ -94,6 +95,7 @@ class StrippedPartition:
         cls, relation: Relation, attr: int, backend: Optional[str] = None
     ) -> "StrippedPartition":
         """Build ``π_A`` by grouping rows on the column's DIIS codes."""
+        faults.fire("partition.build.memory", MemoryError)
         clusters = kernels.group_rows(relation.codes(attr), backend=backend)
         return cls._from_kernel(attrset.singleton(attr), clusters, relation.n_rows)
 
@@ -105,6 +107,7 @@ class StrippedPartition:
         members = attrset.to_list(attrs)
         if not members:
             return cls.universal(relation)
+        faults.fire("partition.build.memory", MemoryError)
         base = cls.universal(relation)
         clusters = kernels.refine_clusters(
             [relation.codes(attr) for attr in members],
@@ -160,6 +163,7 @@ class StrippedPartition:
         self, relation: Relation, attr: int, backend: Optional[str] = None
     ) -> "StrippedPartition":
         """``π_XA`` from ``π_X``: split every cluster on attribute codes."""
+        faults.fire("partition.refine.memory", MemoryError)
         clusters = kernels.refine_clusters(
             [relation.codes(attr)], self.clusters, backend=backend
         )
@@ -177,6 +181,7 @@ class StrippedPartition:
         attr_list = list(attrs)
         if not attr_list:
             return self
+        faults.fire("partition.refine.memory", MemoryError)
         clusters = kernels.refine_clusters(
             [relation.codes(attr) for attr in attr_list],
             self.clusters,

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Optional, Union
 
 from ..algorithms.registry import make_algorithm
+from ..core.base import Deadline, TimeLimitExceeded
 from ..covers.canonical import CoverComparison, compare_covers
 from ..ranking.ranker import RankingResult, rank_cover
 from ..ranking.redundancy import RedundancyReport, dataset_redundancy
@@ -45,6 +46,14 @@ class FDProfile:
         lines = [
             f"relation: {self.relation.n_rows} rows x {self.relation.n_cols} cols"
             f" ({self.relation.semantics.value})",
+        ]
+        if not self.discovery.completed:
+            lines.append(
+                f"PARTIAL RESULT: {self.discovery.limit_reason} limit hit —"
+                f" {self.discovery.fd_count} sound FDs,"
+                f" {len(self.discovery.unverified)} unverified candidates"
+            )
+        lines += [
             f"algorithm: {self.discovery.algorithm}"
             f" in {self.discovery.elapsed_seconds:.3f}s",
             f"left-reduced cover: {self.discovery.fd_count} FDs"
@@ -87,14 +96,17 @@ def profile(
             first (None keeps the relation's current encoding).
         rank: also compute the redundancy ranking (skippable because it
             costs one partition pass per FD of the canonical cover).
-        time_limit: wall-clock cap forwarded to the algorithm.
+        time_limit: wall-clock cap forwarded to the algorithm.  With
+            ``on_limit="partial"`` (an ``algorithm_kwargs`` entry) the
+            *remaining* wall-clock time also bounds the ranking passes;
+            when they run out too, ranking/redundancy come back None.
         trace: telemetry control — ``True`` records the run on a fresh
             :class:`~repro.telemetry.Tracer` (returned as
             ``FDProfile.tracer``); an existing tracer records onto it;
             ``False``/``None`` leaves whatever tracer is already
             current in effect (the no-op tracer by default).
         **algorithm_kwargs: extra constructor args (e.g.
-            ``ratio_threshold`` for DHyFD).
+            ``ratio_threshold`` for DHyFD, ``budget``, ``on_limit``).
     """
     if null_semantics is not None:
         relation = relation.with_semantics(null_semantics)
@@ -105,12 +117,33 @@ def profile(
     else:
         tracer = None
     algo = make_algorithm(algorithm, time_limit=time_limit, **algorithm_kwargs)
+    partial_ok = getattr(algo, "on_limit", "raise") == "partial"
     with use_tracer(tracer if tracer is not None else current_tracer()) as active:
         discovery = algo.discover(relation)
         with active.span("covers", fds=discovery.fd_count):
             canonical, comparison = compare_covers(discovery.fds)
-        ranking = rank_cover(relation, canonical) if rank else None
-        redundancy = dataset_redundancy(relation, canonical) if rank else None
+        ranking: Optional[RankingResult] = None
+        redundancy: Optional[RedundancyReport] = None
+        if rank:
+            # Budget the post-discovery passes with whatever wall-clock
+            # time the algorithm left over (None = unbounded).
+            remaining = (
+                None
+                if time_limit is None
+                else max(0.0, time_limit - discovery.elapsed_seconds)
+            )
+            rank_deadline = (
+                Deadline(remaining, "ranking") if remaining is not None else None
+            )
+            try:
+                ranking = rank_cover(relation, canonical, deadline=rank_deadline)
+                redundancy = dataset_redundancy(
+                    relation, canonical, deadline=rank_deadline
+                )
+            except TimeLimitExceeded:
+                if not partial_ok:
+                    raise
+                active.event("partial_result", algorithm="ranking", reason="time")
     return FDProfile(
         relation=relation,
         discovery=discovery,

@@ -85,27 +85,36 @@ class RankingResult:
         return self.ranked[0].redundancy
 
 
-def rank_cover(relation: Relation, cover: Iterable[FD]) -> RankingResult:
+def rank_cover(
+    relation: Relation, cover: Iterable[FD], deadline=None
+) -> RankingResult:
     """Rank every FD of a cover by descending redundancy.
 
     Both the null-inclusive and null-exclusive counts are computed so
     callers can flag likely-accidental FDs; ties break on the FD masks
-    for determinism.
+    for determinism.  ``deadline`` (a
+    :class:`~repro.core.base.Deadline`) is polled per FD so a driver's
+    time limit bounds the ranking pass too.
     """
     start = time.perf_counter()
     fds = list(cover)
     with current_tracer().span("ranking", fds=len(fds)):
         cache = PartitionCache(relation)
-        ranked = [
-            RankedFD(
-                fd=fd,
-                redundancy=count_redundant(relation, fd, NullPolicy.INCLUDE, cache),
-                redundancy_excluding_null=count_redundant(
-                    relation, fd, NullPolicy.EXCLUDE_RHS, cache
-                ),
+        ranked = []
+        for fd in fds:
+            if deadline is not None:
+                deadline.check()
+            ranked.append(
+                RankedFD(
+                    fd=fd,
+                    redundancy=count_redundant(
+                        relation, fd, NullPolicy.INCLUDE, cache
+                    ),
+                    redundancy_excluding_null=count_redundant(
+                        relation, fd, NullPolicy.EXCLUDE_RHS, cache
+                    ),
+                )
             )
-            for fd in fds
-        ]
         ranked.sort(key=lambda r: (-r.redundancy, r.fd.lhs, r.fd.rhs))
         cache.record_telemetry(scope="ranking")
     return RankingResult(ranked=ranked, seconds=time.perf_counter() - start)

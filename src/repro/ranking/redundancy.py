@@ -144,6 +144,7 @@ def redundancy_positions(
     policy: NullPolicy = NullPolicy.INCLUDE,
     cache: Optional[PartitionCache] = None,
     jobs: Optional[int] = None,
+    deadline=None,
 ) -> np.ndarray:
     """Boolean ``(n_rows, n_cols)`` matrix of redundant positions.
 
@@ -154,6 +155,10 @@ def redundancy_positions(
     ``--jobs``) the per-LHS row masks are computed by a worker pool —
     one FD LHS per task — and OR-merged here; the result is identical
     to the serial loop for any worker count.
+
+    ``deadline`` (a :class:`~repro.core.base.Deadline` or
+    :class:`~repro.core.base.RunContext`) is polled once per FD so a
+    driver's time limit also bounds the ranking pass.
     """
     if cache is None:
         cache = PartitionCache(relation)
@@ -162,6 +167,8 @@ def redundancy_positions(
     unique_lhs = list(dict.fromkeys(fd.lhs for fd in fds))
     rows_by_lhs = _parallel_rows_by_lhs(relation, unique_lhs, policy, jobs)
     for fd in fds:
+        if deadline is not None:
+            deadline.check()
         if rows_by_lhs is not None:
             rows = rows_by_lhs[fd.lhs]
         else:
@@ -200,14 +207,18 @@ class RedundancyReport:
 
 
 def dataset_redundancy(
-    relation: Relation, cover: FDSet, jobs: Optional[int] = None
+    relation: Relation,
+    cover: FDSet,
+    jobs: Optional[int] = None,
+    deadline=None,
 ) -> RedundancyReport:
     """Compute #values / #red / #red+0 for a relation and cover (timed)."""
     start = time.perf_counter()
     with current_tracer().span("redundancy", fds=len(cover)):
         cache = PartitionCache(relation)
         including = redundancy_positions(
-            relation, cover, NullPolicy.INCLUDE, cache, jobs=jobs
+            relation, cover, NullPolicy.INCLUDE, cache, jobs=jobs,
+            deadline=deadline,
         )
         null_matrix = np.column_stack(
             [relation.null_mask(attr) for attr in range(relation.n_cols)]

@@ -57,9 +57,16 @@ class UCCResult:
 def discover_uccs(
     relation: Relation,
     time_limit: Optional[float] = None,
+    deadline: Optional[Deadline] = None,
 ) -> UCCResult:
-    """Find all minimal unique column combinations of ``relation``."""
-    deadline = Deadline(time_limit, "ucc")
+    """Find all minimal unique column combinations of ``relation``.
+
+    Pass ``deadline`` to share a driver's existing
+    :class:`~repro.core.base.Deadline`/``RunContext`` (its budget then
+    bounds this pass too); otherwise ``time_limit`` builds a fresh one.
+    """
+    if deadline is None:
+        deadline = Deadline(time_limit, "ucc")
     start = time.perf_counter()
     n_cols = relation.n_cols
     full = attrset.full_set(n_cols)
@@ -81,7 +88,7 @@ def discover_uccs(
     # treating the duplicates as equal — a full agree set has an empty
     # difference set, which no candidate can hit: no UCC exists at all.
     diff_sets: Set[AttrSet] = {full & ~agree for agree in agree_sets}
-    if _has_duplicate_rows(relation):
+    if _has_duplicate_rows(relation, deadline):
         return UCCResult(
             schema=relation.schema,
             uccs=[],
@@ -117,10 +124,14 @@ def discover_uccs(
     return result
 
 
-def _has_duplicate_rows(relation: Relation) -> bool:
+def _has_duplicate_rows(
+    relation: Relation, deadline: Optional[Deadline] = None
+) -> bool:
     matrix = relation.matrix()
     seen = set()
     for row in range(relation.n_rows):
+        if deadline is not None and row % 4096 == 0:
+            deadline.check()
         key = matrix[row].tobytes()
         if key in seen:
             return True

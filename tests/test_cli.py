@@ -190,3 +190,142 @@ class TestGenerate:
         assert out_path.exists()
         text = out_path.read_text()
         assert len(text.splitlines()) == 26  # header + 25 rows
+
+
+class TestLimitFlags:
+    @pytest.mark.parametrize(
+        "command", ["discover", "rank", "covers", "report", "normalize"]
+    )
+    def test_limit_flags_accepted_everywhere(self, command, csv_path):
+        args = build_parser().parse_args(
+            [
+                command,
+                "--csv",
+                csv_path,
+                "--time-limit",
+                "5",
+                "--memory-budget",
+                "64m",
+                "--on-limit",
+                "partial",
+            ]
+        )
+        assert args.time_limit == 5.0
+        assert args.memory_budget == 64 * 1024 ** 2
+        assert args.on_limit == "partial"
+
+    def test_memory_budget_suffix_parsing(self, csv_path):
+        args = build_parser().parse_args(
+            ["discover", "--csv", csv_path, "--memory-budget", "1g"]
+        )
+        assert args.memory_budget == 1024 ** 3
+
+    def test_memory_budget_invalid_value(self, csv_path):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["discover", "--csv", csv_path, "--memory-budget", "lots"]
+            )
+
+    def test_on_limit_invalid_value(self, csv_path):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["discover", "--csv", csv_path, "--on-limit", "maybe"]
+            )
+
+    def test_discover_partial_prints_notice(self, csv_path, capsys):
+        assert (
+            main(
+                [
+                    "discover",
+                    "--csv",
+                    csv_path,
+                    "--time-limit",
+                    "0",
+                    "--on-limit",
+                    "partial",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "PARTIAL RESULT (time limit)" in out
+
+    def test_discover_raise_policy_propagates(self, csv_path):
+        from repro.core.base import TimeLimitExceeded
+
+        with pytest.raises(TimeLimitExceeded):
+            main(["discover", "--csv", csv_path, "--time-limit", "0"])
+
+    def test_discover_memory_budget_still_exact(self, csv_path, capsys):
+        import re
+
+        def normalized(out):
+            return re.sub(r"in \d+\.\d+s", "in Xs", out)
+
+        assert main(["discover", "--csv", csv_path, "--show-fds"]) == 0
+        unconstrained = normalized(capsys.readouterr().out)
+        assert (
+            main(
+                [
+                    "discover",
+                    "--csv",
+                    csv_path,
+                    "--show-fds",
+                    "--memory-budget",
+                    "1",
+                ]
+            )
+            == 0
+        )
+        constrained = normalized(capsys.readouterr().out)
+        assert constrained == unconstrained
+
+    def test_rank_partial_skips_ranking(self, csv_path, capsys):
+        assert (
+            main(
+                [
+                    "rank",
+                    "--csv",
+                    csv_path,
+                    "--time-limit",
+                    "0",
+                    "--on-limit",
+                    "partial",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        # The partial notice always shows; whether ranking is skipped
+        # depends on how much cover survived the limit (an empty cover
+        # ranks instantly, so both outcomes are legal here).
+        assert "PARTIAL RESULT" in out
+
+
+class TestBadRowFlag:
+    @pytest.fixture
+    def ragged_path(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("a,b,c\n1,2,3\n4,5\n6,7,8\n")
+        return str(path)
+
+    def test_default_raises_with_line_number(self, ragged_path):
+        from repro.relational.schema import SchemaError
+
+        with pytest.raises(SchemaError) as excinfo:
+            main(["discover", "--csv", ragged_path])
+        assert "CSV line 3" in str(excinfo.value)
+
+    def test_skip_policy_loads(self, ragged_path, capsys):
+        assert (
+            main(["discover", "--csv", ragged_path, "--on-bad-row", "skip"])
+            == 0
+        )
+        assert "2 rows" in capsys.readouterr().out
+
+    def test_pad_policy_loads(self, ragged_path, capsys):
+        assert (
+            main(["discover", "--csv", ragged_path, "--on-bad-row", "pad"])
+            == 0
+        )
+        assert "3 rows" in capsys.readouterr().out

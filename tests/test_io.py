@@ -89,3 +89,101 @@ class TestRoundtrip:
         rel = read_csv_text(CSV)
         again = read_csv_text(to_csv_text(rel))
         assert list(again.iter_rows()) == list(rel.iter_rows())
+
+
+class TestBadRowPolicies:
+    RAGGED = "a,b,c\n1,2,3\n4,5\n6,7,8,9\n10,11,12\n"
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            read_csv_text(self.RAGGED, on_bad_row="ignore")
+
+    def test_raise_names_offending_line(self):
+        from repro.relational.schema import SchemaError
+
+        with pytest.raises(SchemaError) as excinfo:
+            read_csv_text(self.RAGGED)
+        message = str(excinfo.value)
+        assert "CSV line 3" in message
+        assert "expected 3 fields, got 2" in message
+
+    def test_raise_is_a_value_error(self):
+        with pytest.raises(ValueError):
+            read_csv_text(self.RAGGED)
+
+    def test_skip_quarantines_ragged_rows(self):
+        rel = read_csv_text(self.RAGGED, on_bad_row="skip")
+        assert rel.n_rows == 2
+        assert rel.value(0, 0) == "1"
+        assert rel.value(1, 0) == "10"
+
+    def test_pad_fills_short_and_truncates_long(self):
+        rel = read_csv_text(self.RAGGED, on_bad_row="pad")
+        assert rel.n_rows == 4
+        assert rel.value(1, 2) is NULL  # "4,5" padded with a null
+        assert rel.value(2, 2) == "8"  # "6,7,8,9" truncated to width
+
+    def test_quarantine_telemetry(self):
+        from repro.telemetry import Tracer, use_tracer
+
+        tracer = Tracer()
+        with use_tracer(tracer):
+            read_csv_text(self.RAGGED, on_bad_row="skip")
+        events = tracer.find_events("csv_quarantine")
+        assert len(events) == 1
+        assert events[0].attrs["kind"] == "ragged_row"
+        assert events[0].attrs["policy"] == "skip"
+        assert events[0].attrs["quarantined"] == 2
+        assert events[0].attrs["padded"] == 0
+        assert tracer.metrics.counter("io.quarantined_rows").value == 2
+
+    def test_clean_input_emits_no_quarantine_event(self):
+        from repro.telemetry import Tracer, use_tracer
+
+        tracer = Tracer()
+        with use_tracer(tracer):
+            read_csv_text(CSV, on_bad_row="skip")
+        assert not tracer.find_events("csv_quarantine")
+
+    def test_undecodable_bytes_raise_with_line(self, tmp_path):
+        from repro.relational.schema import SchemaError
+
+        path = tmp_path / "bad.csv"
+        path.write_bytes(b"a,b\n1,2\n3,\xff\n")
+        with pytest.raises(SchemaError) as excinfo:
+            read_csv(path)
+        assert "CSV line 3" in str(excinfo.value)
+
+    def test_undecodable_bytes_skipped_under_policy(self, tmp_path):
+        from repro.telemetry import Tracer, use_tracer
+
+        path = tmp_path / "bad.csv"
+        path.write_bytes(b"a,b\n1,2\n3,\xff\n")
+        tracer = Tracer()
+        with use_tracer(tracer):
+            rel = read_csv(path, on_bad_row="skip")
+        assert rel.n_rows == 2  # replacement char keeps the row rectangular
+        events = tracer.find_events("csv_quarantine")
+        assert events and events[0].attrs["kind"] == "decode"
+
+
+class TestCsvCorruptionFault:
+    def test_corrupt_row_fault_drops_last_field(self):
+        from repro.resilience import faults
+
+        faults.activate("csv.corrupt_row", times=1)
+        try:
+            with pytest.raises(ValueError):
+                read_csv_text("a,b\n1,2\n3,4\n")
+        finally:
+            faults.reset()
+
+    def test_corrupt_row_fault_survived_by_skip_policy(self):
+        from repro.resilience import faults
+
+        faults.activate("csv.corrupt_row", times=1)
+        try:
+            rel = read_csv_text("a,b\n1,2\n3,4\n", on_bad_row="skip")
+        finally:
+            faults.reset()
+        assert rel.n_rows == 1
