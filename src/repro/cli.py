@@ -7,6 +7,8 @@ Subcommands::
     covers     compare left-reduced vs canonical cover sizes
     datasets   list the built-in benchmark replicas
     generate   write a benchmark replica to a CSV file
+    serve      run the repro.service discovery server (HTTP)
+    submit     upload a dataset to a server and run discover/rank there
 """
 
 from __future__ import annotations
@@ -358,6 +360,88 @@ def _cmd_keys(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import FDService
+    from .service.server import make_server
+
+    service = FDService(max_workers=args.max_workers, store_dir=args.store_dir)
+    server = make_server(
+        service, host=args.host, port=args.port, quiet=not args.verbose
+    )
+    host, port = server.server_address[:2]
+    print(
+        f"repro.service listening on http://{host}:{port} "
+        f"(workers={args.max_workers}"
+        + (f", store={args.store_dir})" if args.store_dir else ")"),
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        service.close()
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.server, timeout=args.request_timeout)
+    relation = _load_input(args)
+    info = client.upload_rows(
+        relation.schema.names,
+        list(relation.iter_rows()),
+        name=args.name,
+        semantics="eq" if relation.semantics is NullSemantics.EQ else "neq",
+    )
+    print(
+        f"dataset {info['fingerprint'][:16]}... "
+        f"({info['n_rows']} rows x {info['n_cols']} cols)"
+    )
+    config = {"algorithm": args.algorithm, "on_limit": getattr(args, "on_limit", "raise")}
+    if args.jobs is not None:
+        config["jobs"] = args.jobs
+    if args.backend is not None:
+        config["backend"] = args.backend
+    if args.time_limit is not None:
+        config["time_limit"] = args.time_limit
+    if getattr(args, "memory_budget", None) is not None:
+        config["memory_budget"] = args.memory_budget
+    job_id = client.submit(
+        info["fingerprint"], kind=args.kind, config=config, priority=args.priority
+    )
+    print(f"submitted {job_id} ({args.kind}, priority {args.priority})")
+    if args.no_wait:
+        return 0
+    status = client.wait(job_id)
+    if status["status"] != "done":
+        print(f"job {job_id} {status['status']}: {status.get('error') or ''}")
+        return 1
+    try:
+        result = ServiceClient.result_from_status(status)
+    except ServiceError as exc:
+        print(f"error: {exc}")
+        return 1
+    cached = " (cached)" if status.get("cached") else ""
+    print(
+        f"{result.algorithm}: {result.fd_count} FDs in "
+        f"{result.elapsed_seconds:.3f}s{cached}"
+    )
+    _print_partial_notice(result)
+    if args.show_fds:
+        for line in result.format_fds():
+            print(" ", line)
+    if args.kind == "rank" and status.get("ranking") is not None:
+        rows = [
+            (r["fd"], r["redundancy"], r["redundancy_excluding_null"])
+            for r in status["ranking"][: args.top]
+        ]
+        print(format_table(["FD", "#red+0", "#red"], rows, title="Top-ranked FDs"))
+    return 0
+
+
 def _cmd_datasets(_: argparse.Namespace) -> int:
     rows = []
     for name in benchmark_names():
@@ -457,6 +541,49 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--seed", type=int, default=0)
     generate.add_argument("--output", required=True)
     generate.set_defaults(handler=_cmd_generate)
+
+    serve = sub.add_parser("serve", help="run the FD discovery service (HTTP)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8765, help="0 picks a free port (printed)"
+    )
+    serve.add_argument(
+        "--max-workers",
+        type=int,
+        default=2,
+        help="concurrent discovery jobs (each may still use --jobs workers)",
+    )
+    serve.add_argument(
+        "--store-dir",
+        default=None,
+        help="persist cached covers here so they survive restarts",
+    )
+    serve.add_argument("--verbose", action="store_true", help="log every request")
+    serve.set_defaults(handler=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="upload a dataset to a server and discover/rank there"
+    )
+    submit.add_argument(
+        "--server", required=True, help="server base URL, e.g. http://127.0.0.1:8765"
+    )
+    _add_input_args(submit)
+    submit.add_argument("--algorithm", default="dhyfd", choices=algorithm_names())
+    _add_limit_args(submit)
+    submit.add_argument(
+        "--kind", default="discover", choices=["discover", "rank"]
+    )
+    submit.add_argument("--name", default=None, help="dataset name alias on the server")
+    submit.add_argument("--priority", type=int, default=0)
+    submit.add_argument("--top", type=int, default=15)
+    submit.add_argument("--show-fds", action="store_true")
+    submit.add_argument(
+        "--no-wait", action="store_true", help="print the job id and exit"
+    )
+    submit.add_argument(
+        "--request-timeout", type=float, default=120.0, help="per-request socket timeout"
+    )
+    submit.set_defaults(handler=_cmd_submit)
 
     return parser
 

@@ -2,12 +2,18 @@
 
 from __future__ import annotations
 
+import dataclasses
+import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..relational.fd import FD, FDSet
+from ..relational.fd_io import cover_from_payload, cover_payload
 from ..relational.relation import Relation
 from ..relational.schema import RelationSchema
+
+#: Version tag for the :meth:`DiscoveryResult.to_json` document.
+RESULT_FORMAT_VERSION = 1
 
 
 @dataclass
@@ -84,6 +90,66 @@ class DiscoveryResult:
     def format_fds(self) -> List[str]:
         """Human-readable FD list using the schema's column names."""
         return self.fds.format(self.schema)
+
+    # ------------------------------------------------------------------
+    # JSON round-trip (result store, HTTP responses, offline analysis)
+    # ------------------------------------------------------------------
+
+    def to_payload(self) -> Dict[str, object]:
+        """The result as a JSON-friendly dict (see :meth:`to_json`)."""
+        return {
+            "format": "repro-fd-result",
+            "version": RESULT_FORMAT_VERSION,
+            "algorithm": self.algorithm,
+            "columns": self.schema.names,
+            "cover": cover_payload(self.fds, self.schema),
+            "unverified": cover_payload(self.unverified, self.schema),
+            "elapsed_seconds": self.elapsed_seconds,
+            "peak_memory_bytes": self.peak_memory_bytes,
+            "completed": self.completed,
+            "limit_reason": self.limit_reason,
+            "stats": dataclasses.asdict(self.stats),
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """Serialize the result — cover, stats and limit provenance.
+
+        The cover is embedded via
+        :func:`~repro.relational.fd_io.cover_payload`, so the ``cover``
+        sub-document is itself a valid ``repro-fd-cover`` file.
+        """
+        return json.dumps(self.to_payload(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "DiscoveryResult":
+        """Rebuild a result from :meth:`to_payload` output."""
+        if payload.get("format") != "repro-fd-result":
+            raise ValueError("not a repro FD result document")
+        if payload.get("version") != RESULT_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported result format version {payload.get('version')}"
+            )
+        schema = RelationSchema(payload["columns"])
+        known = {f.name for f in dataclasses.fields(DiscoveryStats)}
+        stats_data = {
+            k: v for k, v in (payload.get("stats") or {}).items() if k in known
+        }
+        return cls(
+            algorithm=payload["algorithm"],
+            schema=schema,
+            fds=cover_from_payload(payload["cover"], schema),
+            elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
+            peak_memory_bytes=int(payload.get("peak_memory_bytes", 0)),
+            stats=DiscoveryStats(**stats_data),
+            completed=bool(payload.get("completed", True)),
+            unverified=cover_from_payload(payload["unverified"], schema),
+            limit_reason=payload.get("limit_reason"),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "DiscoveryResult":
+        """Parse a result serialized with :meth:`to_json`."""
+        return cls.from_payload(json.loads(text))
 
     def __repr__(self) -> str:
         suffix = "" if self.completed else (

@@ -40,17 +40,23 @@ class IncrementalFDMaintainer:
         relation: Relation,
         algorithm: str = "dhyfd",
         cover: Optional[FDSet] = None,
+        **algorithm_kwargs,
     ):
         """Args:
             relation: the initial data.
             algorithm: registry name used for (re)discovery.
             cover: a known-correct cover of ``relation`` (skips the
                 initial discovery when provided).
+            **algorithm_kwargs: constructor kwargs (``jobs``,
+                ``backend``, ...) forwarded to *every* (re)discovery
+                this maintainer performs — the initial one and the
+                :meth:`remove_rows` fallback alike.
         """
         self.algorithm = algorithm
+        self.algorithm_kwargs = dict(algorithm_kwargs)
         self.relation = relation
         if cover is None:
-            cover = make_algorithm(algorithm).discover(relation).fds
+            cover = self._discover(relation)
         self._cover = cover
         #: Work counters for tests/diagnostics.
         self.appended_rows = 0
@@ -90,11 +96,16 @@ class IncrementalFDMaintainer:
         doomed = set(row_indices)
         keep = [i for i in range(self.relation.n_rows) if i not in doomed]
         self.relation = self.relation.project_rows(keep)
-        self._cover = make_algorithm(self.algorithm).discover(self.relation).fds
+        self._cover = self._discover(self.relation)
         self.rediscoveries += 1
         return self._cover
 
     # ------------------------------------------------------------------
+
+    def _discover(self, relation: Relation) -> FDSet:
+        """Run the configured algorithm with the configured kwargs."""
+        algo = make_algorithm(self.algorithm, **self.algorithm_kwargs)
+        return algo.discover(relation).fds
 
     def _tree_from_cover(self) -> ExtendedFDTree:
         tree = ExtendedFDTree(self.relation.n_cols)

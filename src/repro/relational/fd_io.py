@@ -20,9 +20,14 @@ from .schema import RelationSchema
 FORMAT_VERSION = 1
 
 
-def cover_to_json(fds: FDSet, schema: RelationSchema) -> str:
-    """Serialize a cover against its schema to a JSON string."""
-    payload = {
+def cover_payload(fds: FDSet, schema: RelationSchema) -> dict:
+    """The cover as a JSON-friendly dict (embeddable in larger documents).
+
+    :meth:`~repro.core.result.DiscoveryResult.to_json` and the
+    :mod:`repro.service` result store embed this payload instead of a
+    nested JSON string so stored results stay greppable.
+    """
+    return {
         "format": "repro-fd-cover",
         "version": FORMAT_VERSION,
         "columns": schema.names,
@@ -34,17 +39,15 @@ def cover_to_json(fds: FDSet, schema: RelationSchema) -> str:
             for fd in fds
         ],
     }
-    return json.dumps(payload, indent=2, sort_keys=True)
 
 
-def cover_from_json(text: str, schema: RelationSchema) -> FDSet:
-    """Parse a serialized cover, validating it against ``schema``.
+def cover_from_payload(payload: dict, schema: RelationSchema) -> FDSet:
+    """Rebuild a cover from :func:`cover_payload`, validating ``schema``.
 
     The stored column list must be a subset of the target schema's
     columns (names resolve positions, so extra columns in the target
     are fine; missing ones are an error).
     """
-    payload = json.loads(text)
     if payload.get("format") != "repro-fd-cover":
         raise ValueError("not a repro FD cover document")
     if payload.get("version") != FORMAT_VERSION:
@@ -58,6 +61,16 @@ def cover_from_json(text: str, schema: RelationSchema) -> FDSet:
         rhs = attrset.from_attrs(schema.index_of(name) for name in entry["rhs"])
         fds.add(FD(lhs, rhs))
     return fds
+
+
+def cover_to_json(fds: FDSet, schema: RelationSchema) -> str:
+    """Serialize a cover against its schema to a JSON string."""
+    return json.dumps(cover_payload(fds, schema), indent=2, sort_keys=True)
+
+
+def cover_from_json(text: str, schema: RelationSchema) -> FDSet:
+    """Parse a serialized cover (see :func:`cover_from_payload`)."""
+    return cover_from_payload(json.loads(text), schema)
 
 
 def save_cover(fds: FDSet, schema: RelationSchema, path: Union[str, Path]) -> None:

@@ -13,6 +13,7 @@ can keep using codes as array indices.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -33,7 +34,7 @@ class Relation:
     never affect which FDs hold.
     """
 
-    __slots__ = ("schema", "semantics", "n_rows", "_columns", "_matrix")
+    __slots__ = ("schema", "semantics", "n_rows", "_columns", "_matrix", "_fingerprint")
 
     def __init__(
         self,
@@ -51,6 +52,7 @@ class Relation:
         self.n_rows = n_rows
         self._columns: Tuple[EncodedColumn, ...] = tuple(columns)
         self._matrix: Optional[np.ndarray] = None
+        self._fingerprint: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -154,6 +156,35 @@ class Relation:
             else:
                 self._matrix = np.column_stack([c.codes for c in self._columns])
         return self._matrix
+
+    def fingerprint(self) -> str:
+        """Stable SHA-256 content fingerprint of this relation (hex digest).
+
+        The digest covers the schema names, the null semantics, and
+        every column's DIIS codes, null mask and decoder values, so any
+        cell edit, null flip, column rename, or semantics switch yields
+        a different fingerprint.  It is deliberately **row-order
+        sensitive**: hashing the encoded matrices is a single cheap
+        pass with no sorting, and callers that key caches by
+        fingerprint (see :mod:`repro.service`) treat a reordered load
+        as a distinct dataset.  Cached after the first call — relations
+        are immutable, so the digest can never go stale.
+        """
+        if self._fingerprint is None:
+            digest = hashlib.sha256()
+            digest.update(b"repro-relation-v1")
+            digest.update(self.semantics.value.encode("utf-8"))
+            digest.update(str(self.n_rows).encode("ascii"))
+            for name in self.schema.names:
+                digest.update(b"\x00" + name.encode("utf-8"))
+            for col in self._columns:
+                digest.update(b"\x01")
+                digest.update(np.ascontiguousarray(col.codes).tobytes())
+                digest.update(np.packbits(col.null_mask).tobytes())
+                for value in col.decoder:
+                    digest.update(b"\x02" + repr(value).encode("utf-8"))
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     def null_count(self) -> int:
         """Total number of null occurrences in the relation (#⊥)."""

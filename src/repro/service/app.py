@@ -1,0 +1,250 @@
+"""FDService — the in-process facade the HTTP server (and tests) drive.
+
+Composes the four layers the ROADMAP grew so far into one concurrent
+discovery service:
+
+* **datasets** live in a :class:`~repro.service.registry.DatasetRegistry`
+  (content-fingerprint keyed, appends via synergized induction);
+* **covers** are cached in a :class:`~repro.service.store.ResultStore`
+  (``(fingerprint, algorithm, config)`` keyed, JSON-persisted);
+* **jobs** run on a :class:`~repro.service.scheduler.JobScheduler`
+  (bounded workers, priorities, cooperative cancellation) with per-job
+  :class:`~repro.resilience.RunBudget` limits and their own
+  :class:`~repro.telemetry.Tracer` (the flat summary rides along in the
+  job status);
+* repeated identical requests are **single-flighted**: when two jobs
+  for the same ``(fingerprint, config)`` key overlap, the follower
+  waits for the leader and reuses its stored cover instead of running
+  discovery twice.
+
+Covers produced through the service are byte-identical to direct
+in-process discovery — the service calls the exact same
+:func:`~repro.algorithms.make_algorithm` path, and the determinism
+guarantees of the parallel/kernel layers carry over.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from .. import __version__
+from ..algorithms.registry import make_algorithm
+from ..covers.canonical import canonical_cover
+from ..ranking.ranker import rank_cover
+from ..relational.io import read_csv_text
+from ..relational.relation import Relation
+from ..telemetry import MetricsRegistry, Tracer, trace_summary, use_tracer
+from .config import JobConfig
+from .registry import DatasetEntry, DatasetRegistry
+from .scheduler import Job, JobCancelled, JobScheduler
+from .store import ResultStore
+
+
+class FDService:
+    """A concurrent FD-discovery service over a dataset registry."""
+
+    def __init__(
+        self,
+        max_workers: int = 2,
+        store_dir: Optional[Union[str, Path]] = None,
+    ):
+        """Args:
+            max_workers: concurrent discovery runs (scheduler bound).
+            store_dir: persist cached covers here (survives restarts).
+        """
+        self.metrics = MetricsRegistry()
+        self._metrics_lock = threading.Lock()
+        self.store = ResultStore(persist_dir=store_dir, count=self._count)
+        self.registry = DatasetRegistry(store=self.store, count=self._count)
+        self.scheduler = JobScheduler(
+            self._execute, max_workers=max_workers, count=self._count
+        )
+        #: Single-flight table: store key -> leader job currently running it.
+        self._inflight: Dict[tuple, Job] = {}
+        self._inflight_lock = threading.Lock()
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        """Thread-safe counter increment on the service metrics registry."""
+        with self._metrics_lock:
+            self.metrics.counter(name).inc(amount)
+
+    # ------------------------------------------------------------------
+    # Datasets
+    # ------------------------------------------------------------------
+
+    def register_relation(
+        self, relation: Relation, name: Optional[str] = None
+    ) -> DatasetEntry:
+        """Register an in-memory relation (idempotent by fingerprint)."""
+        return self.registry.register(relation, name=name)
+
+    def register_csv(
+        self,
+        text: str,
+        name: Optional[str] = None,
+        semantics: str = "eq",
+        on_bad_row: str = "raise",
+    ) -> DatasetEntry:
+        """Parse CSV text and register the resulting relation."""
+        relation = read_csv_text(text, semantics=semantics, on_bad_row=on_bad_row)
+        return self.register_relation(relation, name=name)
+
+    def register_rows(
+        self,
+        columns: Sequence[str],
+        rows: Sequence[Sequence[object]],
+        name: Optional[str] = None,
+        semantics: str = "eq",
+    ) -> DatasetEntry:
+        """Register a relation given as a column list plus row tuples."""
+        relation = Relation.from_rows(rows, schema=list(columns), semantics=semantics)
+        return self.register_relation(relation, name=name)
+
+    def append_rows(self, ref: str, rows: Sequence[Sequence[object]]) -> DatasetEntry:
+        """Append rows to a dataset; cached covers migrate incrementally."""
+        return self.registry.append(ref, rows)
+
+    # ------------------------------------------------------------------
+    # Jobs
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        dataset: str,
+        kind: str = "discover",
+        config: Optional[Union[JobConfig, Dict[str, object]]] = None,
+        priority: int = 0,
+    ) -> Job:
+        """Queue a discovery or ranking job against a registered dataset."""
+        if not isinstance(config, JobConfig):
+            config = JobConfig.from_dict(config)
+        fingerprint = self.registry.resolve(dataset)
+        return self.scheduler.submit(fingerprint, kind, config, priority=priority)
+
+    def discover(
+        self,
+        dataset: str,
+        config: Optional[Union[JobConfig, Dict[str, object]]] = None,
+        priority: int = 0,
+        timeout: Optional[float] = None,
+    ) -> Job:
+        """Convenience: submit a discover job and wait for it."""
+        job = self.submit(dataset, "discover", config, priority=priority)
+        return self.scheduler.wait(job.job_id, timeout=timeout)
+
+    def rank(
+        self,
+        dataset: str,
+        config: Optional[Union[JobConfig, Dict[str, object]]] = None,
+        priority: int = 0,
+        timeout: Optional[float] = None,
+    ) -> Job:
+        """Convenience: submit a rank job and wait for it."""
+        job = self.submit(dataset, "rank", config, priority=priority)
+        return self.scheduler.wait(job.job_id, timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # Job execution (runs on scheduler worker threads)
+    # ------------------------------------------------------------------
+
+    def _execute(self, job: Job) -> None:
+        entry = self.registry.get(job.dataset)
+        if job.cancel_requested:
+            raise JobCancelled("cancelled before start")
+        tracer = Tracer()
+        with use_tracer(tracer):
+            with tracer.span("service.job", job_id=job.job_id, kind=job.kind):
+                result = self._discover_with_cache(job, entry)
+                job.result = result
+                if job.kind == "rank":
+                    ranking = rank_cover(
+                        entry.relation, canonical_cover(result.fds)
+                    )
+                    job.ranking = [
+                        {
+                            "fd": ranked.fd.format(entry.relation.schema),
+                            "redundancy": ranked.redundancy,
+                            "redundancy_excluding_null": ranked.redundancy_excluding_null,
+                        }
+                        for ranked in ranking.ranked
+                    ]
+        job.trace = trace_summary(tracer)
+
+    def _discover_with_cache(self, job: Job, entry: DatasetEntry):
+        """Cache-checked discovery with single-flight deduplication."""
+        config = job.config
+        key = (entry.fingerprint, config.algorithm, config.key())
+        while True:
+            # The store check and the in-flight claim are one atomic
+            # step: a leader publishes its result *before* releasing
+            # the key, so a miss here guarantees nobody else already
+            # computed it.
+            with self._inflight_lock:
+                cached = self.store.get(entry.fingerprint, config)
+                if cached is None:
+                    leader = self._inflight.get(key)
+                    if leader is None:
+                        self._inflight[key] = job
+            if cached is not None:
+                job.cached = True
+                self._count("service.jobs.cache_hits")
+                return cached
+            if leader is None:
+                break
+            # Another job is computing the same (dataset, config): wait
+            # for it, then re-check the store.  A failed (or partial —
+            # not cacheable) leader leaves no entry, so the loop
+            # promotes us to leader and we run it ourselves.
+            self._count("service.jobs.coalesced")
+            leader.done.wait()
+        try:
+            self._count("service.discovery.runs")
+            algo = make_algorithm(config.algorithm, **config.algorithm_kwargs())
+            result = algo.discover(entry.relation)
+            self.store.put(entry.fingerprint, config, result)
+            return result
+        finally:
+            with self._inflight_lock:
+                if self._inflight.get(key) is job:
+                    del self._inflight[key]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def health(self) -> Dict[str, object]:
+        """Liveness summary for the ``/health`` endpoint."""
+        scheduler = self.scheduler.counters()
+        return {
+            "status": "ok",
+            "version": __version__,
+            "datasets": len(self.registry),
+            "cached_results": len(self.store),
+            "jobs": scheduler,
+        }
+
+    def metrics_payload(self) -> Dict[str, object]:
+        """All counters for the ``/metrics`` endpoint."""
+        with self._metrics_lock:
+            counters = {
+                name: counter.value
+                for name, counter in sorted(self.metrics.counters.items())
+            }
+        return {
+            "counters": counters,
+            "store": self.store.counters(),
+            "scheduler": self.scheduler.counters(),
+        }
+
+    def close(self) -> None:
+        """Shut the scheduler down (queued jobs are cancelled)."""
+        self.scheduler.shutdown()
+
+    def __enter__(self) -> "FDService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False

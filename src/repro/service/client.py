@@ -1,0 +1,239 @@
+"""Thin stdlib client for the :mod:`repro.service` HTTP server.
+
+Wraps ``urllib`` with JSON encoding and error mapping so callers (the
+``repro-fd submit`` CLI verb, tests, notebooks) talk to a discovery
+server in a few lines::
+
+    client = ServiceClient("http://127.0.0.1:8765")
+    info = client.upload_csv(csv_text, name="orders")
+    status = client.discover(info["fingerprint"], config={"jobs": 2})
+    result = ServiceClient.result_from_status(status)   # DiscoveryResult
+
+Results come back as the same JSON documents
+:meth:`~repro.core.result.DiscoveryResult.to_json` writes, so a cover
+fetched over HTTP is byte-identical to one discovered in process.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, List, Optional, Sequence
+
+from ..core.result import DiscoveryResult
+from ..relational.null import is_null
+
+
+class ServiceError(RuntimeError):
+    """An error response (or transport failure) from the service."""
+
+    def __init__(self, message: str, status: Optional[int] = None):
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceClient:
+    """JSON-over-HTTP client for one discovery server."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0):
+        """Args:
+            base_url: e.g. ``"http://127.0.0.1:8765"`` (no trailing slash).
+            timeout: per-request socket timeout in seconds.
+        """
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, object]] = None,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, object]:
+        body = json.dumps(payload).encode("utf-8") if payload is not None else None
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=body,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=timeout if timeout is not None else self.timeout
+            ) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                detail = json.loads(exc.read().decode("utf-8")).get("error", "")
+            except Exception:  # noqa: BLE001 — best-effort error detail
+                detail = ""
+            raise ServiceError(
+                detail or f"HTTP {exc.code} from {method} {path}", status=exc.code
+            ) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(f"cannot reach {self.base_url}: {exc.reason}") from None
+
+    # ------------------------------------------------------------------
+    # Datasets
+    # ------------------------------------------------------------------
+
+    def upload_csv(
+        self, csv_text: str, name: Optional[str] = None, semantics: str = "eq"
+    ) -> Dict[str, object]:
+        """Upload CSV text; returns the dataset description (fingerprint...)."""
+        return self._request(
+            "POST",
+            "/datasets",
+            {"csv": csv_text, "name": name, "semantics": semantics},
+        )
+
+    def upload_rows(
+        self,
+        columns: Sequence[str],
+        rows: Sequence[Sequence[object]],
+        name: Optional[str] = None,
+        semantics: str = "eq",
+    ) -> Dict[str, object]:
+        """Upload a relation as columns + row tuples (nulls become None)."""
+        encoded = [
+            [None if is_null(value) else value for value in row] for row in rows
+        ]
+        return self._request(
+            "POST",
+            "/datasets",
+            {
+                "columns": list(columns),
+                "rows": encoded,
+                "name": name,
+                "semantics": semantics,
+            },
+        )
+
+    def append(self, dataset: str, rows: Sequence[Sequence[object]]) -> Dict[str, object]:
+        """Append rows; returns the new dataset version description."""
+        encoded = [
+            [None if is_null(value) else value for value in row] for row in rows
+        ]
+        return self._request("POST", f"/datasets/{dataset}/append", {"rows": encoded})
+
+    def datasets(self) -> List[Dict[str, object]]:
+        """All registered dataset versions."""
+        return self._request("GET", "/datasets")["datasets"]
+
+    # ------------------------------------------------------------------
+    # Jobs
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        dataset: str,
+        kind: str = "discover",
+        config: Optional[Dict[str, object]] = None,
+        priority: int = 0,
+    ) -> str:
+        """Queue a job; returns its id immediately."""
+        response = self._request(
+            "POST",
+            f"/{kind}",
+            {"dataset": dataset, "config": config or {}, "priority": priority},
+        )
+        return response["job_id"]
+
+    def status(self, job_id: str) -> Dict[str, object]:
+        """One job's status payload (includes the result when done)."""
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def jobs(self) -> List[Dict[str, object]]:
+        """Status of every job the server knows about."""
+        return self._request("GET", "/jobs")["jobs"]
+
+    def wait(
+        self, job_id: str, timeout: Optional[float] = None, poll: float = 0.05
+    ) -> Dict[str, object]:
+        """Poll until the job reaches a terminal state; returns its status."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if status["status"] in ("done", "failed", "cancelled"):
+                return status
+            if deadline is not None and time.monotonic() >= deadline:
+                raise ServiceError(f"timed out waiting for {job_id}")
+            time.sleep(poll)
+
+    def cancel(self, job_id: str) -> Dict[str, object]:
+        """Cancel a queued job (or request cancellation of a running one)."""
+        return self._request("POST", f"/jobs/{job_id}/cancel")
+
+    def discover(
+        self,
+        dataset: str,
+        config: Optional[Dict[str, object]] = None,
+        priority: int = 0,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, object]:
+        """Submit a discover job and wait server-side; returns the status."""
+        return self._request(
+            "POST",
+            "/discover",
+            {
+                "dataset": dataset,
+                "config": config or {},
+                "priority": priority,
+                "wait": True,
+                "timeout": timeout,
+            },
+            timeout=timeout,
+        )
+
+    def rank(
+        self,
+        dataset: str,
+        config: Optional[Dict[str, object]] = None,
+        priority: int = 0,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, object]:
+        """Submit a rank job and wait server-side; returns the status."""
+        return self._request(
+            "POST",
+            "/rank",
+            {
+                "dataset": dataset,
+                "config": config or {},
+                "priority": priority,
+                "wait": True,
+                "timeout": timeout,
+            },
+            timeout=timeout,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def health(self) -> Dict[str, object]:
+        """The server's ``/health`` payload."""
+        return self._request("GET", "/health")
+
+    def metrics(self) -> Dict[str, object]:
+        """The server's ``/metrics`` payload."""
+        return self._request("GET", "/metrics")
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def result_from_status(status: Dict[str, object]) -> DiscoveryResult:
+        """Decode the ``result`` document inside a finished job status."""
+        if status.get("status") == "failed":
+            raise ServiceError(f"job failed: {status.get('error')}")
+        result = status.get("result")
+        if result is None:
+            raise ServiceError(f"job {status.get('job_id')} carries no result yet")
+        return DiscoveryResult.from_payload(result)

@@ -1,0 +1,115 @@
+"""Job configurations: the canonical identity of one discovery request.
+
+The result store keys cached covers by ``(dataset fingerprint,
+algorithm, config key)``; two requests share a cache entry exactly when
+their :meth:`JobConfig.key` strings are equal.  The key is a canonical
+JSON rendering (sorted keys, no whitespace, ``None`` fields dropped),
+so dict ordering, spelling of byte sizes (``"64m"`` vs ``67108864``)
+and omitted-vs-default fields all normalize away.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..algorithms.registry import algorithm_names
+from ..resilience import RunBudget, parse_bytes
+
+_ON_LIMIT_POLICIES = ("raise", "partial")
+
+
+class ConfigError(ValueError):
+    """Raised for malformed job configurations."""
+
+
+@dataclass(frozen=True)
+class JobConfig:
+    """Normalized configuration of one discovery/ranking job.
+
+    ``extra`` carries algorithm-specific constructor kwargs (e.g.
+    DHyFD's ``ratio_threshold``) as a sorted tuple of pairs so the
+    dataclass stays hashable and the cache key deterministic.
+    """
+
+    algorithm: str = "dhyfd"
+    jobs: Optional[int] = None
+    backend: Optional[str] = None
+    time_limit: Optional[float] = None
+    memory_budget: Optional[int] = None
+    on_limit: str = "raise"
+    extra: Tuple[Tuple[str, object], ...] = ()
+
+    def __post_init__(self):
+        if self.algorithm not in algorithm_names():
+            raise ConfigError(
+                f"unknown algorithm {self.algorithm!r}; "
+                f"choose from {algorithm_names()}"
+            )
+        if self.on_limit not in _ON_LIMIT_POLICIES:
+            raise ConfigError(
+                f"on_limit must be one of {_ON_LIMIT_POLICIES}, got {self.on_limit!r}"
+            )
+
+    @classmethod
+    def from_dict(cls, data: Optional[Dict[str, object]]) -> "JobConfig":
+        """Build a config from a request dict (HTTP body / CLI flags).
+
+        ``memory_budget`` accepts plain bytes or ``"64m"``-style
+        strings; unknown keys become algorithm ``extra`` kwargs.
+        """
+        data = dict(data or {})
+        algorithm = str(data.pop("algorithm", "dhyfd")).lower()
+        jobs = data.pop("jobs", None)
+        backend = data.pop("backend", None)
+        time_limit = data.pop("time_limit", None)
+        memory_budget = data.pop("memory_budget", None)
+        on_limit = str(data.pop("on_limit", "raise"))
+        return cls(
+            algorithm=algorithm,
+            jobs=int(jobs) if jobs is not None else None,
+            backend=str(backend) if backend is not None else None,
+            time_limit=float(time_limit) if time_limit is not None else None,
+            memory_budget=parse_bytes(memory_budget) if memory_budget is not None else None,
+            on_limit=on_limit,
+            extra=tuple(sorted(data.items())),
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly dict; ``from_dict`` of it rebuilds this config."""
+        payload: Dict[str, object] = {"algorithm": self.algorithm, "on_limit": self.on_limit}
+        for name in ("jobs", "backend", "time_limit", "memory_budget"):
+            value = getattr(self, name)
+            if value is not None:
+                payload[name] = value
+        payload.update(dict(self.extra))
+        return payload
+
+    def key(self) -> str:
+        """Canonical string identity (the config part of cache keys)."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def algorithm_kwargs(self) -> Dict[str, object]:
+        """Constructor kwargs for :func:`~repro.algorithms.make_algorithm`.
+
+        A ``memory_budget`` becomes a per-job
+        :class:`~repro.resilience.RunBudget`; ``on_limit`` is only
+        forwarded when non-default so baseline algorithms that predate
+        partial results keep working.
+        """
+        kwargs: Dict[str, object] = dict(self.extra)
+        if self.jobs is not None:
+            kwargs["jobs"] = self.jobs
+        if self.backend is not None:
+            kwargs["backend"] = self.backend
+        if self.time_limit is not None:
+            kwargs["time_limit"] = self.time_limit
+        if self.memory_budget is not None:
+            kwargs["budget"] = RunBudget(
+                time_limit=self.time_limit,
+                memory_limit_bytes=self.memory_budget,
+            )
+        if self.on_limit != "raise":
+            kwargs["on_limit"] = self.on_limit
+        return kwargs

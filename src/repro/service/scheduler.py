@@ -1,0 +1,286 @@
+"""Bounded-concurrency job scheduler with priorities and cancellation.
+
+The scheduler owns a fixed pool of worker threads (the concurrency
+bound — each running job may itself fan out over the shared
+:mod:`repro.parallel` process pool, so a handful of workers saturates
+the machine) and a priority queue of :class:`Job` records.  Higher
+``priority`` runs first; ties run in submission order.  The executor —
+supplied by :class:`~repro.service.app.FDService` — does the actual
+cache lookup / discovery / ranking; the scheduler only sequences it,
+tracks job state, and turns exceptions into ``failed`` statuses.
+
+Cancellation is cooperative: a queued job is cancelled outright (it is
+skipped when popped); a running job gets ``cancel_requested`` set,
+which the executor may honour at its own checkpoints.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+from typing import Callable, Dict, List, Optional
+
+from ..core.result import DiscoveryResult
+from .config import JobConfig
+from .store import _noop_count
+
+#: Job lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+
+class UnknownJobError(KeyError):
+    """Raised when a job id resolves to no job."""
+
+    def __init__(self, job_id: str):
+        super().__init__(f"unknown job {job_id!r}")
+        self.job_id = job_id
+
+
+class JobCancelled(RuntimeError):
+    """Raised by an executor when it honours a cancel request."""
+
+
+class Job:
+    """One scheduled unit of work and everything we know about it."""
+
+    def __init__(
+        self,
+        job_id: str,
+        dataset: str,
+        kind: str,
+        config: JobConfig,
+        priority: int = 0,
+    ):
+        self.job_id = job_id
+        #: Dataset fingerprint the job runs against.
+        self.dataset = dataset
+        #: ``"discover"`` or ``"rank"``.
+        self.kind = kind
+        self.config = config
+        self.priority = priority
+        self.status = QUEUED
+        self.result: Optional[DiscoveryResult] = None
+        #: Ranked-FD payloads for ``rank`` jobs (None otherwise).
+        self.ranking: Optional[List[Dict[str, object]]] = None
+        #: True when the result came from the store, not a fresh run.
+        self.cached = False
+        self.error: Optional[str] = None
+        self.cancel_requested = False
+        self.submitted_at = time.time()
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        #: Flat telemetry summary of the run (see ``trace_summary``).
+        self.trace: Optional[Dict[str, object]] = None
+        self.done = threading.Event()
+
+    def status_payload(self, include_result: bool = True) -> Dict[str, object]:
+        """JSON-friendly job status for the HTTP layer."""
+        payload: Dict[str, object] = {
+            "job_id": self.job_id,
+            "dataset": self.dataset,
+            "kind": self.kind,
+            "config": self.config.to_dict(),
+            "priority": self.priority,
+            "status": self.status,
+            "cached": self.cached,
+            "error": self.error,
+            "cancel_requested": self.cancel_requested,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+        }
+        if include_result and self.result is not None:
+            payload["result"] = self.result.to_payload()
+        if self.ranking is not None:
+            payload["ranking"] = self.ranking
+        if self.trace is not None:
+            payload["trace"] = self.trace
+        return payload
+
+
+class JobScheduler:
+    """Priority-ordered execution of jobs on a bounded worker pool."""
+
+    def __init__(
+        self,
+        executor: Callable[[Job], None],
+        max_workers: int = 2,
+        count: Callable[..., None] = _noop_count,
+    ):
+        """Args:
+            executor: runs one job (sets ``result``/``ranking``/...);
+                raised exceptions mark the job ``failed``.
+            max_workers: concurrent discovery runs allowed.
+            count: metrics hook ``count(name, amount=1)``.
+        """
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self._executor = executor
+        self._count = count
+        self.max_workers = max_workers
+        self._cond = threading.Condition()
+        self._heap: List[tuple] = []
+        self._jobs: Dict[str, Job] = {}
+        self._seq = itertools.count(1)
+        self._stopping = False
+        self._running = 0
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop, name=f"repro-service-worker-{i}", daemon=True
+            )
+            for i in range(max_workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        dataset: str,
+        kind: str,
+        config: JobConfig,
+        priority: int = 0,
+    ) -> Job:
+        """Queue a job; returns immediately with the live :class:`Job`."""
+        if kind not in ("discover", "rank"):
+            raise ValueError(f"job kind must be 'discover' or 'rank', got {kind!r}")
+        with self._cond:
+            if self._stopping:
+                raise RuntimeError("scheduler is shut down")
+            seq = next(self._seq)
+            job = Job(f"job-{seq}", dataset, kind, config, priority=priority)
+            self._jobs[job.job_id] = job
+            heapq.heappush(self._heap, (-priority, seq, job))
+            self._count("service.jobs.submitted")
+            self._cond.notify()
+        return job
+
+    def get(self, job_id: str) -> Job:
+        """Look up a job by id."""
+        with self._cond:
+            try:
+                return self._jobs[job_id]
+            except KeyError:
+                raise UnknownJobError(job_id) from None
+
+    def jobs(self) -> List[Job]:
+        """All jobs, oldest first."""
+        with self._cond:
+            return sorted(self._jobs.values(), key=lambda j: j.submitted_at)
+
+    def wait(self, job_id: str, timeout: Optional[float] = None) -> Job:
+        """Block until a job reaches a terminal state (or timeout)."""
+        job = self.get(job_id)
+        job.done.wait(timeout)
+        return job
+
+    def cancel(self, job_id: str) -> str:
+        """Cancel a job; returns the resulting status.
+
+        Queued jobs become ``cancelled``; running jobs keep running but
+        get ``cancel_requested`` set (cooperative).  Finished jobs are
+        left untouched.
+        """
+        with self._cond:
+            job = self.get(job_id)
+            if job.status == QUEUED:
+                job.status = CANCELLED
+                job.finished_at = time.time()
+                job.done.set()
+                self._count("service.jobs.cancelled")
+            elif job.status == RUNNING:
+                job.cancel_requested = True
+            return job.status
+
+    def queue_depth(self) -> int:
+        """Number of jobs waiting to run."""
+        with self._cond:
+            return sum(1 for _, _, job in self._heap if job.status == QUEUED)
+
+    def running(self) -> int:
+        """Number of jobs currently executing."""
+        with self._cond:
+            return self._running
+
+    def counters(self) -> Dict[str, int]:
+        """Queue/worker occupancy as a JSON-friendly dict."""
+        with self._cond:
+            by_status: Dict[str, int] = {}
+            for job in self._jobs.values():
+                by_status[job.status] = by_status.get(job.status, 0) + 1
+            return {
+                "workers": self.max_workers,
+                "queued": by_status.get(QUEUED, 0),
+                "running": by_status.get(RUNNING, 0),
+                "done": by_status.get(DONE, 0),
+                "failed": by_status.get(FAILED, 0),
+                "cancelled": by_status.get(CANCELLED, 0),
+            }
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the workers; queued jobs are cancelled."""
+        with self._cond:
+            if self._stopping:
+                return
+            self._stopping = True
+            for _, _, job in self._heap:
+                if job.status == QUEUED:
+                    job.status = CANCELLED
+                    job.finished_at = time.time()
+                    job.done.set()
+            self._heap.clear()
+            self._cond.notify_all()
+        if wait:
+            for worker in self._workers:
+                worker.join(timeout=30.0)
+
+    # ------------------------------------------------------------------
+    # Worker loop
+    # ------------------------------------------------------------------
+
+    def _pop_job(self) -> Optional[Job]:
+        """Next runnable job, blocking until one exists or shutdown."""
+        with self._cond:
+            while True:
+                while self._heap:
+                    _, _, job = heapq.heappop(self._heap)
+                    if job.status == QUEUED:
+                        job.status = RUNNING
+                        job.started_at = time.time()
+                        self._running += 1
+                        return job
+                if self._stopping:
+                    return None
+                self._cond.wait()
+
+    def _worker_loop(self) -> None:
+        while True:
+            job = self._pop_job()
+            if job is None:
+                return
+            try:
+                self._executor(job)
+            except JobCancelled:
+                job.status = CANCELLED
+                self._count("service.jobs.cancelled")
+            except Exception as exc:  # noqa: BLE001 — job isolation boundary
+                job.status = FAILED
+                job.error = f"{type(exc).__name__}: {exc}"
+                self._count("service.jobs.failed")
+            else:
+                job.status = DONE
+                self._count("service.jobs.completed")
+            finally:
+                job.finished_at = time.time()
+                with self._cond:
+                    self._running -= 1
+                job.done.set()

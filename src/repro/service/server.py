@@ -1,0 +1,244 @@
+"""Stdlib HTTP front-end for :class:`~repro.service.app.FDService`.
+
+A :class:`ThreadingHTTPServer` speaking JSON on every endpoint — no
+framework, no dependencies.  The protocol:
+
+=======  ==============================  =======================================
+method   path                            body / effect
+=======  ==============================  =======================================
+GET      ``/health``                     liveness + queue occupancy
+GET      ``/metrics``                    all service counters
+GET      ``/datasets``                   registered dataset versions
+POST     ``/datasets``                   ``{csv | columns+rows, name?,
+                                         semantics?}`` → fingerprint
+POST     ``/datasets/<ref>/append``      ``{rows}`` → new fingerprint
+POST     ``/discover``                   ``{dataset, config?, priority?,
+                                         wait?}`` → job (id or full status)
+POST     ``/rank``                       same, plus a ranking in the status
+GET      ``/jobs``                       all job statuses (no result bodies)
+GET      ``/jobs/<id>``                  one job status incl. result payload
+POST     ``/jobs/<id>/cancel``           cancel (queued) / request (running)
+=======  ==============================  =======================================
+
+``<ref>`` is a dataset fingerprint or name.  Errors come back as
+``{"error": ...}`` with a 4xx/5xx status.  ``wait: true`` on
+``/discover``/``/rank`` blocks the request until the job finishes and
+returns the full status — handy for CLIs; pollers use ``/jobs/<id>``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+
+from .app import FDService
+from .config import ConfigError
+from .registry import UnknownDatasetError
+from .scheduler import UnknownJobError
+
+#: Upload size ceiling (bytes) — a guardrail, not a quota system.
+MAX_BODY_BYTES = 256 * 1024 * 1024
+
+
+class BadRequest(ValueError):
+    """A malformed request body or path (HTTP 400)."""
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """Threaded HTTP server bound to one :class:`FDService`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: Tuple[str, int], service: FDService, quiet: bool = True):
+        self.service = service
+        self.quiet = quiet
+        super().__init__(address, ServiceRequestHandler)
+
+
+class ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Routes JSON requests onto the bound service."""
+
+    server: ServiceHTTPServer
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not self.server.quiet:
+            super().log_message(format, *args)
+
+    def _send_json(self, payload: Dict[str, object], status: int = 200) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> Dict[str, object]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise BadRequest(f"request body exceeds {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise BadRequest(f"invalid JSON body: {exc}") from None
+        if not isinstance(payload, dict):
+            raise BadRequest("request body must be a JSON object")
+        return payload
+
+    def _dispatch(self, handler, *args) -> None:
+        try:
+            handler(*args)
+        except BadRequest as exc:
+            self._send_json({"error": str(exc)}, status=400)
+        except (ConfigError, ValueError) as exc:
+            self._send_json({"error": str(exc)}, status=400)
+        except (UnknownDatasetError, UnknownJobError) as exc:
+            self._send_json({"error": str(exc.args[0])}, status=404)
+        except Exception as exc:  # noqa: BLE001 — protocol boundary
+            self._send_json(
+                {"error": f"{type(exc).__name__}: {exc}"}, status=500
+            )
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802
+        parts = [p for p in self.path.split("?")[0].split("/") if p]
+        if parts == ["health"]:
+            self._dispatch(self._get_health)
+        elif parts == ["metrics"]:
+            self._dispatch(self._get_metrics)
+        elif parts == ["datasets"]:
+            self._dispatch(self._get_datasets)
+        elif parts == ["jobs"]:
+            self._dispatch(self._get_jobs)
+        elif len(parts) == 2 and parts[0] == "jobs":
+            self._dispatch(self._get_job, parts[1])
+        else:
+            self._send_json({"error": f"no such endpoint: GET {self.path}"}, 404)
+
+    def do_POST(self) -> None:  # noqa: N802
+        parts = [p for p in self.path.split("?")[0].split("/") if p]
+        if parts == ["datasets"]:
+            self._dispatch(self._post_dataset)
+        elif len(parts) == 3 and parts[0] == "datasets" and parts[2] == "append":
+            self._dispatch(self._post_append, parts[1])
+        elif parts == ["discover"]:
+            self._dispatch(self._post_job, "discover")
+        elif parts == ["rank"]:
+            self._dispatch(self._post_job, "rank")
+        elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "cancel":
+            self._dispatch(self._post_cancel, parts[1])
+        else:
+            self._send_json({"error": f"no such endpoint: POST {self.path}"}, 404)
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+
+    def _get_health(self) -> None:
+        self._send_json(self.server.service.health())
+
+    def _get_metrics(self) -> None:
+        self._send_json(self.server.service.metrics_payload())
+
+    def _get_datasets(self) -> None:
+        self._send_json({"datasets": self.server.service.registry.list()})
+
+    def _get_jobs(self) -> None:
+        jobs = self.server.service.scheduler.jobs()
+        self._send_json(
+            {"jobs": [job.status_payload(include_result=False) for job in jobs]}
+        )
+
+    def _get_job(self, job_id: str) -> None:
+        job = self.server.service.scheduler.get(job_id)
+        self._send_json(job.status_payload())
+
+    def _post_dataset(self) -> None:
+        body = self._read_body()
+        name = body.get("name")
+        semantics = body.get("semantics", "eq")
+        if "csv" in body:
+            entry = self.server.service.register_csv(
+                body["csv"],
+                name=name,
+                semantics=semantics,
+                on_bad_row=body.get("on_bad_row", "raise"),
+            )
+        elif "columns" in body and "rows" in body:
+            entry = self.server.service.register_rows(
+                body["columns"], body["rows"], name=name, semantics=semantics
+            )
+        else:
+            raise BadRequest(
+                "dataset upload needs either 'csv' text or 'columns' + 'rows'"
+            )
+        self._send_json(entry.describe(), status=201)
+
+    def _post_append(self, ref: str) -> None:
+        body = self._read_body()
+        rows = body.get("rows")
+        if not isinstance(rows, list):
+            raise BadRequest("append needs a 'rows' list")
+        entry = self.server.service.append_rows(ref, rows)
+        self._send_json(entry.describe())
+
+    def _post_job(self, kind: str) -> None:
+        body = self._read_body()
+        dataset = body.get("dataset")
+        if not dataset:
+            raise BadRequest("job submission needs a 'dataset' reference")
+        config = body.get("config") or {}
+        if "algorithm" in body:
+            config.setdefault("algorithm", body["algorithm"])
+        job = self.server.service.submit(
+            dataset, kind, config, priority=int(body.get("priority", 0))
+        )
+        if body.get("wait"):
+            timeout = body.get("timeout")
+            self.server.service.scheduler.wait(
+                job.job_id, timeout=float(timeout) if timeout is not None else None
+            )
+            self._send_json(job.status_payload())
+        else:
+            self._send_json(
+                {"job_id": job.job_id, "status": job.status}, status=202
+            )
+
+    def _post_cancel(self, job_id: str) -> None:
+        status = self.server.service.scheduler.cancel(job_id)
+        self._send_json({"job_id": job_id, "status": status})
+
+
+def make_server(
+    service: FDService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    quiet: bool = True,
+) -> ServiceHTTPServer:
+    """Bind a server (``port=0`` picks a free port; see ``server_port``)."""
+    return ServiceHTTPServer((host, port), service, quiet=quiet)
+
+
+def start_in_thread(
+    service: FDService, host: str = "127.0.0.1", port: int = 0
+) -> Tuple[ServiceHTTPServer, threading.Thread]:
+    """Run a server on a daemon thread (tests and embedded use)."""
+    server = make_server(service, host=host, port=port)
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-service-http", daemon=True
+    )
+    thread.start()
+    return server, thread

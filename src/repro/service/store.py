@@ -1,0 +1,210 @@
+"""Fingerprint-keyed result store with JSON persistence.
+
+Maps ``(dataset fingerprint, algorithm, config key)`` to a
+:class:`~repro.core.result.DiscoveryResult` so repeat requests for the
+same data and configuration are served without re-running discovery.
+Two policies keep the cache sound:
+
+* only **completed** results are stored — a partial cover from a
+  tripped budget is an answer to *this* request, not a reusable fact
+  about the dataset;
+* entries are keyed by content fingerprint, so an append (which
+  changes the fingerprint) can never serve a stale cover.  Instead of
+  discarding the old entries, :meth:`ResultStore.update_for_append`
+  migrates each one to the new fingerprint through synergized
+  induction (an :class:`~repro.incremental.IncrementalFDMaintainer`
+  seeded with the cached cover) — no full rediscovery.
+
+With a ``persist_dir`` every entry is mirrored to one JSON file (the
+:meth:`~repro.core.result.DiscoveryResult.to_json` document plus its
+key) and reloaded on construction, so covers survive restarts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from ..core.result import DiscoveryResult
+from ..incremental.maintainer import IncrementalFDMaintainer
+from ..relational.relation import Relation
+from .config import JobConfig
+
+#: Store key: (dataset fingerprint, algorithm name, config key).
+StoreKey = Tuple[str, str, str]
+
+
+def _noop_count(name: str, amount: int = 1) -> None:
+    return None
+
+
+class ResultStore:
+    """Thread-safe cache of discovery results, optionally persisted."""
+
+    def __init__(
+        self,
+        persist_dir: Optional[Union[str, Path]] = None,
+        count: Callable[..., None] = _noop_count,
+    ):
+        """Args:
+            persist_dir: directory for one-file-per-entry JSON mirrors
+                (created if missing; ``None`` keeps the store in-memory).
+            count: metrics hook ``count(name, amount=1)`` — the service
+                passes its registry-backed counter here.
+        """
+        self._lock = threading.RLock()
+        self._entries: Dict[StoreKey, Tuple[JobConfig, DiscoveryResult]] = {}
+        self._count = count
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+        self.incremental_updates = 0
+        self.persist_dir = Path(persist_dir) if persist_dir is not None else None
+        if self.persist_dir is not None:
+            self.persist_dir.mkdir(parents=True, exist_ok=True)
+            self._load()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # Lookup / insert
+    # ------------------------------------------------------------------
+
+    def get(self, fingerprint: str, config: JobConfig) -> Optional[DiscoveryResult]:
+        """The cached result for ``(fingerprint, config)``, counting hit/miss."""
+        key = (fingerprint, config.algorithm, config.key())
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                self._count("service.store.misses")
+                return None
+            self.hits += 1
+            self._count("service.store.hits")
+            return entry[1]
+
+    def put(self, fingerprint: str, config: JobConfig, result: DiscoveryResult) -> bool:
+        """Cache ``result``; returns False (and skips) for partial results."""
+        if not result.completed:
+            self._count("service.store.partial_skipped")
+            return False
+        key = (fingerprint, config.algorithm, config.key())
+        with self._lock:
+            self._entries[key] = (config, result)
+            self.puts += 1
+            self._count("service.store.puts")
+        self._persist(key, config, result)
+        return True
+
+    def results_for(self, fingerprint: str) -> List[Tuple[JobConfig, DiscoveryResult]]:
+        """All cached ``(config, result)`` pairs for one fingerprint."""
+        with self._lock:
+            return [
+                entry
+                for key, entry in sorted(self._entries.items())
+                if key[0] == fingerprint
+            ]
+
+    # ------------------------------------------------------------------
+    # Append migration
+    # ------------------------------------------------------------------
+
+    def update_for_append(
+        self,
+        old_fingerprint: str,
+        old_relation: Relation,
+        rows,
+        new_fingerprint: str,
+    ) -> int:
+        """Migrate every cached cover of ``old_fingerprint`` to the
+        appended dataset via synergized induction.
+
+        Each entry seeds an :class:`IncrementalFDMaintainer` with the
+        cached cover, replays the appended rows (agree sets of new-row
+        pairs only — no rediscovery), and stores the repaired cover
+        under ``new_fingerprint`` with the same config key.  Returns
+        the number of migrated entries.
+        """
+        migrated = 0
+        for config, result in self.results_for(old_fingerprint):
+            start = time.perf_counter()
+            maintainer = IncrementalFDMaintainer(
+                old_relation,
+                algorithm=config.algorithm,
+                cover=result.fds,
+                **config.algorithm_kwargs(),
+            )
+            cover = maintainer.append_rows(rows)
+            updated = DiscoveryResult(
+                algorithm=result.algorithm,
+                schema=result.schema,
+                fds=cover,
+                elapsed_seconds=time.perf_counter() - start,
+                stats=result.stats,
+            )
+            self.put(new_fingerprint, config, updated)
+            with self._lock:
+                self.incremental_updates += 1
+            self._count("service.store.incremental_updates")
+            migrated += 1
+        return migrated
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _entry_filename(key: StoreKey) -> str:
+        digest = hashlib.sha256("\x00".join(key).encode("utf-8")).hexdigest()
+        return f"{digest[:32]}.json"
+
+    def _persist(self, key: StoreKey, config: JobConfig, result: DiscoveryResult) -> None:
+        if self.persist_dir is None:
+            return
+        payload = {
+            "format": "repro-fd-store-entry",
+            "version": 1,
+            "fingerprint": key[0],
+            "config": config.to_dict(),
+            "result": result.to_payload(),
+        }
+        path = self.persist_dir / self._entry_filename(key)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        tmp.replace(path)
+
+    def _load(self) -> None:
+        """Reload persisted entries; malformed files are skipped, not fatal."""
+        for path in sorted(self.persist_dir.glob("*.json")):
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+                if payload.get("format") != "repro-fd-store-entry":
+                    continue
+                config = JobConfig.from_dict(payload["config"])
+                result = DiscoveryResult.from_payload(payload["result"])
+                key = (payload["fingerprint"], config.algorithm, config.key())
+            except (ValueError, KeyError, OSError):
+                self._count("service.store.load_errors")
+                continue
+            with self._lock:
+                self._entries[key] = (config, result)
+        self._count("service.store.loaded", len(self._entries))
+
+    def counters(self) -> Dict[str, int]:
+        """Hit/miss/put accounting as a JSON-friendly dict."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "puts": self.puts,
+                "incremental_updates": self.incremental_updates,
+            }

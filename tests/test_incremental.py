@@ -95,6 +95,41 @@ class TestRemoveRows:
         assert maintainer.cover == fresh_discovery(maintainer.relation)
         assert maintainer.rediscoveries == 1
 
+    def test_rediscovery_reuses_algorithm_kwargs(self, monkeypatch, city_relation):
+        """Regression: remove_rows used to rediscover with default kwargs,
+        dropping the maintainer's configured jobs/backend."""
+        from repro.incremental import maintainer as maintainer_mod
+
+        calls = []
+        real = maintainer_mod.make_algorithm
+
+        def spying_make_algorithm(name, **kwargs):
+            calls.append((name, dict(kwargs)))
+            return real(name, **kwargs)
+
+        monkeypatch.setattr(
+            maintainer_mod, "make_algorithm", spying_make_algorithm
+        )
+        maintainer = IncrementalFDMaintainer(
+            city_relation, algorithm="dhyfd", backend="python", jobs=1
+        )
+        maintainer.remove_rows([0])
+        assert len(calls) == 2  # initial discovery + rediscovery
+        for name, kwargs in calls:
+            assert name == "dhyfd"
+            assert kwargs.get("backend") == "python"
+            assert kwargs.get("jobs") == 1
+        assert maintainer.cover == fresh_discovery(maintainer.relation)
+
+    def test_kwargs_with_precomputed_cover(self, city_relation):
+        cover = fresh_discovery(city_relation)
+        maintainer = IncrementalFDMaintainer(
+            city_relation, cover=cover, backend="python"
+        )
+        assert maintainer.algorithm_kwargs == {"backend": "python"}
+        maintainer.remove_rows([5])
+        assert maintainer.cover == fresh_discovery(maintainer.relation)
+
 
 class TestAppendRowsRelation:
     def test_codes_preserved(self, city_relation):

@@ -137,3 +137,69 @@ class TestSemanticsConversion:
         back = null_relation.with_semantics("neq").with_semantics("eq")
         assert list(back.iter_rows()) == list(null_relation.iter_rows())
         assert back.codes(1)[0] == back.codes(1)[1]
+
+
+class TestFingerprint:
+    ROWS = [
+        ("ann", "z1", "c1"),
+        ("bob", "z1", "c1"),
+        ("cat", "z2", NULL),
+    ]
+    NAMES = ["name", "zip", "city"]
+
+    def make(self, rows=None, names=None, semantics="eq"):
+        return Relation.from_rows(
+            rows if rows is not None else self.ROWS,
+            RelationSchema(names or self.NAMES),
+            semantics=semantics,
+        )
+
+    def test_equal_data_equal_fingerprint(self):
+        assert self.make().fingerprint() == self.make().fingerprint()
+
+    def test_fingerprint_is_hex_sha256(self):
+        digest = self.make().fingerprint()
+        assert len(digest) == 64
+        int(digest, 16)  # raises if not hex
+
+    def test_cached_after_first_call(self):
+        relation = self.make()
+        assert relation.fingerprint() is relation.fingerprint()
+
+    def test_cell_change_changes_fingerprint(self):
+        changed = [list(row) for row in self.ROWS]
+        changed[2][1] = "z9"
+        assert self.make().fingerprint() != self.make(rows=changed).fingerprint()
+
+    def test_cell_change_same_code_matrix_changes_fingerprint(self):
+        # "bob" -> "rob" keeps the DIIS codes identical (same positions,
+        # same cardinality) but the decoded content differs.
+        changed = [list(row) for row in self.ROWS]
+        changed[1][0] = "rob"
+        assert self.make().fingerprint() != self.make(rows=changed).fingerprint()
+
+    def test_null_flip_changes_fingerprint(self):
+        changed = [list(row) for row in self.ROWS]
+        changed[2][2] = "c9"
+        assert self.make().fingerprint() != self.make(rows=changed).fingerprint()
+
+    def test_semantics_changes_fingerprint(self):
+        assert (
+            self.make().fingerprint()
+            != self.make(semantics="neq").fingerprint()
+        )
+
+    def test_column_rename_changes_fingerprint(self):
+        renamed = self.make(names=["name", "zip", "town"])
+        assert self.make().fingerprint() != renamed.fingerprint()
+
+    def test_row_order_sensitive(self):
+        # Documented behaviour: the fingerprint is a cheap single pass,
+        # so a reordered load is a distinct dataset.
+        reordered = [self.ROWS[1], self.ROWS[0], self.ROWS[2]]
+        assert self.make().fingerprint() != self.make(rows=reordered).fingerprint()
+
+    def test_append_changes_fingerprint(self):
+        relation = self.make()
+        appended = relation.append_rows([("dan", "z3", "c2")])
+        assert relation.fingerprint() != appended.fingerprint()

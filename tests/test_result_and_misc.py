@@ -75,3 +75,72 @@ class TestReprs:
         from repro.algorithms import TANE
 
         assert "TANE" in repr(TANE())
+
+
+class TestResultJsonRoundTrip:
+    def make_partial(self):
+        schema = RelationSchema(["a", "b", "c"])
+        fds = FDSet([FD.of(["a"], "b", schema)])
+        unverified = FDSet([FD.of(["b", "c"], "a", schema)])
+        stats = DiscoveryStats(validations=7, comparisons=3)
+        stats.level_log.append({"level": 1.0, "ratio": 2.5})
+        return DiscoveryResult(
+            algorithm="dhyfd",
+            schema=schema,
+            fds=fds,
+            elapsed_seconds=1.25,
+            peak_memory_bytes=4096,
+            stats=stats,
+            completed=False,
+            unverified=unverified,
+            limit_reason="time",
+        )
+
+    def test_round_trip_full(self):
+        result = self.make_partial()
+        back = DiscoveryResult.from_json(result.to_json())
+        assert back.algorithm == result.algorithm
+        assert back.schema == result.schema
+        assert back.fds == result.fds
+        assert back.unverified == result.unverified
+        assert back.elapsed_seconds == result.elapsed_seconds
+        assert back.peak_memory_bytes == result.peak_memory_bytes
+        assert back.completed is False
+        assert back.limit_reason == "time"
+        assert back.stats.validations == 7
+        assert back.stats.level_log == [{"level": 1.0, "ratio": 2.5}]
+
+    def test_round_trip_is_stable(self):
+        result = self.make_partial()
+        once = DiscoveryResult.from_json(result.to_json())
+        assert once.to_json() == result.to_json()
+
+    def test_embedded_cover_is_a_cover_document(self):
+        import json
+
+        from repro.relational.fd_io import cover_from_payload
+
+        result = self.make_partial()
+        payload = json.loads(result.to_json())
+        fds = cover_from_payload(payload["cover"], result.schema)
+        assert fds == result.fds
+
+    def test_from_json_rejects_other_documents(self):
+        with pytest.raises(ValueError):
+            DiscoveryResult.from_json('{"format": "something-else"}')
+
+    def test_from_json_rejects_future_versions(self):
+        import json
+
+        payload = json.loads(self.make_partial().to_json())
+        payload["version"] = 999
+        with pytest.raises(ValueError):
+            DiscoveryResult.from_payload(payload)
+
+    def test_unknown_stats_fields_ignored(self):
+        import json
+
+        payload = json.loads(self.make_partial().to_json())
+        payload["stats"]["counter_from_the_future"] = 1
+        back = DiscoveryResult.from_payload(payload)
+        assert back.stats.validations == 7
