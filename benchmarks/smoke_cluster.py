@@ -1,0 +1,182 @@
+#!/usr/bin/env python
+"""End-to-end smoke test for the sharded cluster (docs/cluster.md).
+
+Boots ``python -m repro cluster`` (2 replicas + router) as a real
+subprocess, then checks the full acceptance story over plain HTTP:
+
+* uploads land on the shard their content fingerprint hashes to;
+* covers served *through the router* are byte-identical to a direct
+  in-process ``discover()``;
+* ``/health`` and ``/metrics`` fan out and merge across replicas;
+* killing one replica degrades only that shard — the surviving shard
+  keeps serving, the dead shard answers 503 + Retry-After (no hangs) —
+  and the manager restarts the replica, which reloads its persisted
+  datasets and covers and serves the cached result.
+
+Run directly (CI runs this as a dedicated leg)::
+
+    PYTHONPATH=src python benchmarks/smoke_cluster.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+
+from repro.algorithms.registry import make_algorithm
+from repro.cluster import shard_for
+from repro.datasets import load_benchmark
+from repro.relational.fd_io import cover_to_json
+from repro.service import ServiceClient, ServiceError
+
+BENCHMARK = "iris"
+CONFIG = {"algorithm": "dhyfd"}
+REPLICAS = 2
+
+
+def boot_cluster(data_dir: str):
+    """Start ``repro cluster --router-port 0`` and parse the bound URL."""
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "cluster",
+            "--replicas",
+            str(REPLICAS),
+            "--router-port",
+            "0",
+            "--max-workers",
+            "2",
+            "--data-dir",
+            data_dir,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    deadline = time.monotonic() + 90.0
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line and proc.poll() is not None:
+            raise SystemExit(f"cluster died on startup (rc={proc.returncode})")
+        if "listening on " in line:
+            url = line.split("listening on ", 1)[1].split()[0]
+            return proc, url
+    proc.kill()
+    raise SystemExit("cluster did not announce its URL within 90s")
+
+
+def datasets_per_shard():
+    """Benchmark variants until every shard owns at least one dataset."""
+    chosen = {}
+    rows = 40
+    while len(chosen) < REPLICAS and rows < 400:
+        relation = load_benchmark(BENCHMARK, n_rows=rows)
+        shard = shard_for(relation.fingerprint(), REPLICAS)
+        chosen.setdefault(shard, relation)
+        rows += 1
+    assert len(chosen) == REPLICAS, "could not cover every shard"
+    return chosen
+
+
+def cluster_info(url: str) -> dict:
+    with urllib.request.urlopen(url + "/cluster", timeout=10.0) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def main() -> int:
+    by_shard = datasets_per_shard()
+    expected = {
+        shard: cover_to_json(
+            make_algorithm("dhyfd").discover(relation).fds, relation.schema
+        )
+        for shard, relation in by_shard.items()
+    }
+
+    data_dir = tempfile.mkdtemp(prefix="repro-cluster-smoke-")
+    proc, url = boot_cluster(data_dir)
+    try:
+        client = ServiceClient(url, timeout=120.0)
+        fingerprints = {}
+        for shard, relation in sorted(by_shard.items()):
+            info = client.upload_rows(
+                relation.schema.names,
+                list(relation.iter_rows()),
+                name=f"{BENCHMARK}-s{shard}",
+            )
+            fingerprints[shard] = info["fingerprint"]
+            assert shard_for(info["fingerprint"], REPLICAS) == shard
+            print(f"uploaded shard {shard}: {info['fingerprint'][:12]}... "
+                  f"({relation.n_rows} rows)")
+
+        for shard, fingerprint in sorted(fingerprints.items()):
+            status = client.discover(fingerprint, config=dict(CONFIG))
+            assert status["status"] == "done", status
+            result = ServiceClient.result_from_status(status)
+            served = cover_to_json(result.fds, result.schema)
+            assert served == expected[shard], (
+                f"shard {shard}: routed cover differs from direct discover()"
+            )
+            assert status["job_id"].startswith(f"s{shard}:"), status["job_id"]
+            print(f"discover via router, shard {shard}: {len(result.fds)} FDs, "
+                  "byte-identical to direct run")
+
+        health = client.health()
+        assert health["status"] == "ok" and health["healthy"] == REPLICAS, health
+        metrics = client.metrics()
+        assert metrics["counters"]["cluster.service.discovery.runs"] == REPLICAS
+        assert "cluster.queue_depth" in metrics["gauges"], metrics["gauges"]
+        print(f"fanout: /health sees {REPLICAS} healthy replicas, "
+              "/metrics merges cluster totals")
+
+        # --- failover: kill shard 0's replica process outright ---------
+        replicas = cluster_info(url)["replicas"]
+        victim = next(r for r in replicas if r["shard"] == 0)
+        os.kill(victim["pid"], signal.SIGKILL)
+        time.sleep(0.3)
+
+        impatient = ServiceClient(url, timeout=30.0, retries=0)
+        start = time.monotonic()
+        try:
+            impatient.discover(fingerprints[0], config=dict(CONFIG))
+            raise SystemExit("dead shard unexpectedly served a request")
+        except ServiceError as exc:
+            elapsed = time.monotonic() - start
+            assert exc.status == 503, exc
+            assert exc.retry_after is not None, "503 without Retry-After"
+            assert elapsed < 5.0, f"503 took {elapsed:.1f}s — should be immediate"
+        status = impatient.discover(fingerprints[1], config=dict(CONFIG))
+        assert status["status"] == "done", status
+        print("failover: dead shard 503s immediately, surviving shard serves")
+
+        # --- recovery: the manager restarts it; state is reloaded ------
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            if cluster_info(url)["healthy"] == REPLICAS:
+                break
+            time.sleep(0.5)
+        else:
+            raise SystemExit("replica was not restarted within 60s")
+        status = client.discover(fingerprints[0], config=dict(CONFIG))
+        assert status["status"] == "done", status
+        assert status["cached"] is True, "restarted replica lost its store"
+        print("recovery: replica restarted, served the persisted cover")
+    finally:
+        proc.terminate()
+        try:
+            proc.wait(timeout=30.0)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+    print("cluster smoke test passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

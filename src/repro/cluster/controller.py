@@ -1,0 +1,97 @@
+"""Cluster controller: replica manager + router as one unit.
+
+This is what ``repro-fd cluster`` (and the load/smoke harnesses) boot:
+
+* a :class:`~repro.cluster.manager.ReplicaManager` spawning N
+  ``repro serve`` processes, one per shard, restarted on crash;
+* a :class:`~repro.cluster.router.Router` bound to the manager's live
+  :meth:`~repro.cluster.manager.ReplicaManager.endpoints`, with its
+  pinned routing table persisted next to the replicas table.
+
+::
+
+    from repro.cluster import Cluster
+
+    with Cluster(replicas=2, data_dir="cluster-state") as cluster:
+        client = ServiceClient(cluster.url)       # same protocol
+        client.upload_csv(csv_text, name="orders")
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+from .manager import ReplicaManager
+from .router import Router
+
+
+class Cluster:
+    """N sharded service replicas behind one fingerprint-routed router."""
+
+    def __init__(
+        self,
+        replicas: int = 2,
+        data_dir: Optional[Union[str, Path]] = None,
+        host: str = "127.0.0.1",
+        router_port: int = 0,
+        max_workers: int = 2,
+        drain_timeout: float = 10.0,
+        upstream_timeout: float = 300.0,
+        probe_interval: float = 1.0,
+        verbose: bool = False,
+    ):
+        """Args mirror the ``repro-fd cluster`` CLI flags; ``data_dir``
+        (when given) persists per-replica result stores, the replicas
+        table, and the router's pinned routes across restarts."""
+        self.data_dir = Path(data_dir) if data_dir is not None else None
+        self.manager = ReplicaManager(
+            replicas=replicas,
+            data_dir=self.data_dir,
+            host=host,
+            max_workers=max_workers,
+            drain_timeout=drain_timeout,
+            probe_interval=probe_interval,
+            verbose=verbose,
+        )
+        self._router_host = host
+        self._router_port = router_port
+        self._upstream_timeout = upstream_timeout
+        self.router: Optional[Router] = None
+
+    @property
+    def url(self) -> str:
+        """The router's base URL (valid after :meth:`start`)."""
+        if self.router is None:
+            raise RuntimeError("cluster is not started")
+        return self.router.url
+
+    def start(self) -> "Cluster":
+        """Boot the replicas, then the router (on a daemon thread)."""
+        self.manager.start()
+        routes_path = (
+            str(self.data_dir / "routes.json") if self.data_dir is not None else None
+        )
+        self.router = Router(
+            self.manager.endpoints,
+            host=self._router_host,
+            port=self._router_port,
+            routes_path=routes_path,
+            describe=self.manager.describe,
+            upstream_timeout=self._upstream_timeout,
+        )
+        self.router.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the router, then gracefully drain the replicas."""
+        if self.router is not None:
+            self.router.shutdown()
+        self.manager.stop()
+
+    def __enter__(self) -> "Cluster":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop()
+        return False

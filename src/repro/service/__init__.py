@@ -35,7 +35,7 @@ from .app import FDService
 from .client import ServiceClient, ServiceError
 from .config import ConfigError, JobConfig
 from .registry import DatasetEntry, DatasetRegistry, UnknownDatasetError
-from .scheduler import Job, JobCancelled, JobScheduler, UnknownJobError
+from .scheduler import Job, JobCancelled, JobScheduler, SchedulerDraining, UnknownJobError
 from .server import ServiceHTTPServer, make_server, start_in_thread
 from .store import ResultStore
 
@@ -49,6 +49,7 @@ __all__ = [
     "JobConfig",
     "JobScheduler",
     "ResultStore",
+    "SchedulerDraining",
     "ServiceClient",
     "ServiceError",
     "ServiceHTTPServer",

@@ -49,15 +49,21 @@ class FDService:
         self,
         max_workers: int = 2,
         store_dir: Optional[Union[str, Path]] = None,
+        dataset_dir: Optional[Union[str, Path]] = None,
     ):
         """Args:
             max_workers: concurrent discovery runs (scheduler bound).
             store_dir: persist cached covers here (survives restarts).
+            dataset_dir: persist registered datasets here too, so a
+                restarted replica still owns its shard (see
+                :mod:`repro.cluster`).
         """
         self.metrics = MetricsRegistry()
         self._metrics_lock = threading.Lock()
         self.store = ResultStore(persist_dir=store_dir, count=self._count)
-        self.registry = DatasetRegistry(store=self.store, count=self._count)
+        self.registry = DatasetRegistry(
+            store=self.store, count=self._count, persist_dir=dataset_dir
+        )
         self.scheduler = JobScheduler(
             self._execute, max_workers=max_workers, count=self._count
         )
@@ -234,9 +240,22 @@ class FDService:
             }
         return {
             "counters": counters,
+            "gauges": self.scheduler.gauges(),
             "store": self.store.counters(),
             "scheduler": self.scheduler.counters(),
         }
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Graceful shutdown, phase one: refuse new jobs, finish accepted.
+
+        Returns True when every in-flight job completed within
+        ``timeout``.  The result store is synced either way so a
+        following restart reloads every completed cover; call
+        :meth:`close` afterwards to stop the workers.
+        """
+        finished = self.scheduler.drain(timeout)
+        self.store.sync()
+        return finished
 
     def close(self) -> None:
         """Shut the scheduler down (queued jobs are cancelled)."""

@@ -29,27 +29,100 @@ from ..relational.null import is_null
 class ServiceError(RuntimeError):
     """An error response (or transport failure) from the service."""
 
-    def __init__(self, message: str, status: Optional[int] = None):
+    def __init__(
+        self,
+        message: str,
+        status: Optional[int] = None,
+        retryable: bool = False,
+        retry_after: Optional[float] = None,
+    ):
         super().__init__(message)
+        #: HTTP status code, or None for transport-level failures.
         self.status = status
+        #: True for connection-refused/reset style transport failures.
+        self.retryable = retryable
+        #: Parsed ``Retry-After`` header on 503 responses, if any.
+        self.retry_after = retry_after
+
+
+#: Socket-level failures worth retrying: the server went away mid-flight
+#: (replica restart) or was not yet accepting (replica still booting).
+_RETRYABLE_ERRNOS = ("refused", "reset", "broken pipe", "aborted")
+
+
+def _is_retryable_reason(reason: object) -> bool:
+    """True for connection-refused/reset style transport failures."""
+    if isinstance(reason, (ConnectionRefusedError, ConnectionResetError, BrokenPipeError)):
+        return True
+    text = str(reason).lower()
+    return any(marker in text for marker in _RETRYABLE_ERRNOS)
 
 
 class ServiceClient:
-    """JSON-over-HTTP client for one discovery server."""
+    """JSON-over-HTTP client for one discovery server (or cluster router).
 
-    def __init__(self, base_url: str, timeout: float = 60.0):
+    Transient transport failures — connection refused/reset while a
+    replica restarts, or a 503 + ``Retry-After`` from a draining shard
+    — are retried with exponential backoff, so replica restarts are
+    invisible to callers.  Requests are safe to repeat: uploads are
+    idempotent by fingerprint and job submissions coalesce through the
+    service's single-flight dedup.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 60.0,
+        retries: int = 3,
+        backoff: float = 0.2,
+    ):
         """Args:
             base_url: e.g. ``"http://127.0.0.1:8765"`` (no trailing slash).
             timeout: per-request socket timeout in seconds.
+            retries: extra attempts after a retryable failure (0 disables).
+            backoff: initial sleep between attempts, doubled each retry
+                (a 503's ``Retry-After`` header takes precedence).
         """
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if backoff < 0:
+            raise ValueError(f"backoff must be >= 0, got {backoff}")
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
 
     # ------------------------------------------------------------------
     # Transport
     # ------------------------------------------------------------------
 
     def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, object]] = None,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, object]:
+        last_error: Optional[ServiceError] = None
+        for attempt in range(self.retries + 1):
+            try:
+                return self._request_once(method, path, payload, timeout)
+            except ServiceError as exc:
+                retry_after = exc.retry_after if exc.status == 503 else None
+                if exc.status == 503 and attempt < self.retries:
+                    last_error = exc
+                elif exc.status is None and exc.retryable and attempt < self.retries:
+                    last_error = exc
+                else:
+                    raise
+            delay = self.backoff * (2 ** attempt)
+            if retry_after is not None:
+                delay = max(delay, retry_after)
+            if delay > 0:
+                time.sleep(delay)
+        raise last_error  # pragma: no cover — loop always raises or returns
+
+    def _request_once(
         self,
         method: str,
         path: str,
@@ -73,11 +146,28 @@ class ServiceClient:
                 detail = json.loads(exc.read().decode("utf-8")).get("error", "")
             except Exception:  # noqa: BLE001 — best-effort error detail
                 detail = ""
+            retry_after = None
+            try:
+                header = exc.headers.get("Retry-After") if exc.headers else None
+                retry_after = float(header) if header is not None else None
+            except (TypeError, ValueError):
+                retry_after = None
             raise ServiceError(
-                detail or f"HTTP {exc.code} from {method} {path}", status=exc.code
+                detail or f"HTTP {exc.code} from {method} {path}",
+                status=exc.code,
+                retry_after=retry_after,
             ) from None
         except urllib.error.URLError as exc:
-            raise ServiceError(f"cannot reach {self.base_url}: {exc.reason}") from None
+            raise ServiceError(
+                f"cannot reach {self.base_url}: {exc.reason}",
+                retryable=_is_retryable_reason(exc.reason),
+            ) from None
+        except TimeoutError as exc:
+            # A read timeout is not retried: the request may well still
+            # be executing server-side.
+            raise ServiceError(
+                f"request to {self.base_url}{path} timed out: {exc}"
+            ) from None
 
     # ------------------------------------------------------------------
     # Datasets

@@ -17,11 +17,14 @@ to the new one by synergized induction — see
 
 from __future__ import annotations
 
+import json
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
+from ..relational.null import is_null
 from ..relational.relation import Relation
 from .store import ResultStore, _noop_count
 
@@ -65,17 +68,26 @@ class DatasetRegistry:
         self,
         store: Optional[ResultStore] = None,
         count: Callable[..., None] = _noop_count,
+        persist_dir: Optional[Union[str, Path]] = None,
     ):
         """Args:
             store: result store whose cached covers :meth:`append`
                 migrates to the appended dataset (optional).
             count: metrics hook ``count(name, amount=1)``.
+            persist_dir: mirror every registered dataset to one JSON
+                file here and reload on construction, so a restarted
+                replica still owns its shard's datasets (None keeps
+                the registry in-memory — the single-process default).
         """
         self._lock = threading.RLock()
         self._by_fingerprint: Dict[str, DatasetEntry] = {}
         self._by_name: Dict[str, str] = {}
         self._store = store
         self._count = count
+        self.persist_dir = Path(persist_dir) if persist_dir is not None else None
+        if self.persist_dir is not None:
+            self.persist_dir.mkdir(parents=True, exist_ok=True)
+            self._load()
 
     def __len__(self) -> int:
         with self._lock:
@@ -94,6 +106,7 @@ class DatasetRegistry:
                 entry = DatasetEntry(fingerprint, relation, name=name)
                 self._by_fingerprint[fingerprint] = entry
                 self._count("service.registry.registered")
+                self._persist(entry)
             else:
                 self._count("service.registry.duplicate_uploads")
                 if name and not entry.name:
@@ -140,6 +153,7 @@ class DatasetRegistry:
                 )
                 self._by_fingerprint[entry.fingerprint] = entry
                 self._count("service.registry.appends")
+                self._persist(entry)
             if old.name:
                 self._by_name[old.name] = entry.fingerprint
         if self._store is not None and rows:
@@ -155,3 +169,77 @@ class DatasetRegistry:
                 self._by_fingerprint.values(), key=lambda e: e.registered_at
             )
             return [entry.describe() for entry in entries]
+
+    # ------------------------------------------------------------------
+    # Persistence (replica restarts — see repro.cluster)
+    # ------------------------------------------------------------------
+
+    def _persist(self, entry: DatasetEntry) -> None:
+        """Mirror one dataset version to its JSON file (best-effort).
+
+        In-process registrations may hold values JSON cannot encode;
+        those datasets simply stay memory-only (counted, not fatal) —
+        every HTTP upload is JSON-clean by construction.
+        """
+        if self.persist_dir is None:
+            return
+        relation = entry.relation
+        rows = [
+            [None if is_null(value) else value for value in row]
+            for row in relation.iter_rows()
+        ]
+        payload = {
+            "format": "repro-fd-dataset",
+            "version": 1,
+            "fingerprint": entry.fingerprint,
+            "name": entry.name,
+            "parent": entry.parent,
+            "registered_at": entry.registered_at,
+            "semantics": relation.semantics.value,
+            "columns": relation.schema.names,
+            "rows": rows,
+        }
+        try:
+            text = json.dumps(payload)
+        except (TypeError, ValueError):
+            self._count("service.registry.persist_skipped")
+            return
+        path = self.persist_dir / f"{entry.fingerprint[:32]}.json"
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(text + "\n", encoding="utf-8")
+        tmp.replace(path)
+
+    def _load(self) -> None:
+        """Reload persisted datasets, oldest first so name aliases land
+        on the latest version; content is verified against the recorded
+        fingerprint and mismatches are skipped, never trusted."""
+        loaded = []
+        for path in sorted(self.persist_dir.glob("*.json")):
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+                if payload.get("format") != "repro-fd-dataset":
+                    continue
+                relation = Relation.from_rows(
+                    payload["rows"],
+                    schema=list(payload["columns"]),
+                    semantics=payload.get("semantics", "eq"),
+                )
+                if relation.fingerprint() != payload["fingerprint"]:
+                    raise ValueError("fingerprint mismatch")
+                loaded.append(
+                    DatasetEntry(
+                        payload["fingerprint"],
+                        relation,
+                        name=payload.get("name"),
+                        registered_at=float(payload.get("registered_at") or 0.0),
+                        parent=payload.get("parent"),
+                    )
+                )
+            except (ValueError, KeyError, TypeError, OSError):
+                self._count("service.registry.load_errors")
+                continue
+        for entry in sorted(loaded, key=lambda e: e.registered_at):
+            self._by_fingerprint[entry.fingerprint] = entry
+            if entry.name:
+                self._by_name[entry.name] = entry.fingerprint
+        self._count("service.registry.loaded", len(loaded))

@@ -42,6 +42,15 @@ class UnknownJobError(KeyError):
         self.job_id = job_id
 
 
+class SchedulerDraining(RuntimeError):
+    """Raised when a job is submitted to a draining scheduler.
+
+    The HTTP layer maps this to 503 + ``Retry-After`` so clients (and
+    the cluster router) know the replica is shutting down gracefully
+    rather than broken.
+    """
+
+
 class JobCancelled(RuntimeError):
     """Raised by an executor when it honours a cancel request."""
 
@@ -129,6 +138,7 @@ class JobScheduler:
         self._jobs: Dict[str, Job] = {}
         self._seq = itertools.count(1)
         self._stopping = False
+        self._draining = False
         self._running = 0
         self._workers = [
             threading.Thread(
@@ -156,6 +166,8 @@ class JobScheduler:
         with self._cond:
             if self._stopping:
                 raise RuntimeError("scheduler is shut down")
+            if self._draining:
+                raise SchedulerDraining("scheduler is draining; not accepting jobs")
             seq = next(self._seq)
             job = Job(f"job-{seq}", dataset, kind, config, priority=priority)
             self._jobs[job.job_id] = job
@@ -225,6 +237,51 @@ class JobScheduler:
                 "failed": by_status.get(FAILED, 0),
                 "cancelled": by_status.get(CANCELLED, 0),
             }
+
+    def gauges(self) -> Dict[str, float]:
+        """Live saturation gauges for ``/metrics`` (see docs/telemetry.md).
+
+        ``queue_depth`` and ``in_flight`` are instantaneous occupancy;
+        ``worker_utilization`` is ``in_flight / workers`` in ``[0, 1]``
+        — the load harness and the cluster router read these to observe
+        saturation as it happens, not just counters after the fact.
+        """
+        with self._cond:
+            queued = sum(1 for _, _, job in self._heap if job.status == QUEUED)
+            return {
+                "queue_depth": queued,
+                "in_flight": self._running,
+                "worker_utilization": self._running / self.max_workers,
+                "draining": 1.0 if self._draining else 0.0,
+            }
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Stop accepting jobs and wait for accepted ones to finish.
+
+        Every job already queued or running counts as in-flight and is
+        allowed to complete; new :meth:`submit` calls raise
+        :class:`SchedulerDraining`.  Returns True when everything
+        finished inside ``timeout`` (None = wait forever); on timeout
+        the stragglers are left running (a following :meth:`shutdown`
+        cancels what is still queued).
+        """
+        with self._cond:
+            self._draining = True
+            pending = [
+                job
+                for job in self._jobs.values()
+                if job.status in (QUEUED, RUNNING)
+            ]
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for job in pending:
+            remaining = None
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+            if not job.done.wait(remaining):
+                return False
+        return True
 
     def shutdown(self, wait: bool = True) -> None:
         """Stop the workers; queued jobs are cancelled."""

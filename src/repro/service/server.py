@@ -36,7 +36,7 @@ from typing import Dict, Optional, Tuple
 from .app import FDService
 from .config import ConfigError
 from .registry import UnknownDatasetError
-from .scheduler import UnknownJobError
+from .scheduler import SchedulerDraining, UnknownJobError
 
 #: Upload size ceiling (bytes) — a guardrail, not a quota system.
 MAX_BODY_BYTES = 256 * 1024 * 1024
@@ -72,11 +72,18 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         if not self.server.quiet:
             super().log_message(format, *args)
 
-    def _send_json(self, payload: Dict[str, object], status: int = 200) -> None:
+    def _send_json(
+        self,
+        payload: Dict[str, object],
+        status: int = 200,
+        retry_after: Optional[float] = None,
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if retry_after is not None:
+            self.send_header("Retry-After", str(int(max(1, retry_after))))
         self.end_headers()
         self.wfile.write(body)
 
@@ -102,6 +109,8 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             self._send_json({"error": str(exc)}, status=400)
         except (ConfigError, ValueError) as exc:
             self._send_json({"error": str(exc)}, status=400)
+        except SchedulerDraining as exc:
+            self._send_json({"error": str(exc)}, status=503, retry_after=2)
         except (UnknownDatasetError, UnknownJobError) as exc:
             self._send_json({"error": str(exc.args[0])}, status=404)
         except Exception as exc:  # noqa: BLE001 — protocol boundary

@@ -198,6 +198,23 @@ class ResultStore:
                 self._entries[key] = (config, result)
         self._count("service.store.loaded", len(self._entries))
 
+    def sync(self) -> int:
+        """Re-mirror every entry to ``persist_dir`` (drain/shutdown hook).
+
+        Entries are already persisted on :meth:`put`; this is the
+        belt-and-braces pass the graceful-drain path runs so a replica
+        restart is guaranteed to reload the full cache even if an
+        earlier mirror write raced a crash.  Returns the number of
+        entries written (0 for in-memory stores).
+        """
+        if self.persist_dir is None:
+            return 0
+        with self._lock:
+            entries = list(self._entries.items())
+        for key, (config, result) in entries:
+            self._persist(key, config, result)
+        return len(entries)
+
     def counters(self) -> Dict[str, int]:
         """Hit/miss/put accounting as a JSON-friendly dict."""
         with self._lock:

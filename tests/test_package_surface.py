@@ -21,7 +21,7 @@ class TestExports:
             "repro.core", "repro.algorithms", "repro.covers",
             "repro.ranking", "repro.datasets", "repro.normalize",
             "repro.incremental", "repro.ucc", "repro.profiling",
-            "repro.bench", "repro.cli",
+            "repro.bench", "repro.cli", "repro.service", "repro.cluster",
         ]:
             importlib.import_module(module)
 
@@ -40,7 +40,7 @@ class TestCliSurface:
         )
         expected = {
             "discover", "rank", "covers", "report", "normalize",
-            "keys", "datasets", "generate",
+            "keys", "datasets", "generate", "serve", "submit", "cluster",
         }
         assert expected <= set(subparsers.choices)
 
