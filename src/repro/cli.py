@@ -222,12 +222,18 @@ def _cmd_discover(args: argparse.Namespace) -> int:
     tracer = _make_tracer(args)
     context = use_tracer(tracer) if tracer is not None else contextlib.nullcontext()
     with context:
-        result = algo.discover(relation)
+        if args.top_k is not None:
+            result = algo.discover_top_k(relation, args.top_k)
+        else:
+            result = algo.discover(relation)
+    kind = "" if result.top_k is None else f"top-{result.top_k} "
     print(
-        f"{result.algorithm}: {result.fd_count} FDs in "
+        f"{result.algorithm}: {kind}{result.fd_count} FDs in "
         f"{result.elapsed_seconds:.3f}s on {relation.n_rows} rows x "
         f"{relation.n_cols} cols"
     )
+    if result.top_k is not None and result.stats.pruned_candidates:
+        print(f"  ({result.stats.pruned_candidates} candidates pruned by rank bound)")
     _print_partial_notice(result)
     if args.show_fds:
         for line in result.format_fds():
@@ -243,6 +249,7 @@ def _cmd_rank(args: argparse.Namespace) -> int:
         relation,
         algorithm=args.algorithm,
         trace=tracer or False,
+        top_k=args.top_k,
         **_limit_kwargs(args),
     )
     print(outcome.summary())
@@ -479,7 +486,11 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     if getattr(args, "memory_budget", None) is not None:
         config["memory_budget"] = args.memory_budget
     job_id = client.submit(
-        info["fingerprint"], kind=args.kind, config=config, priority=args.priority
+        info["fingerprint"],
+        kind=args.kind,
+        config=config,
+        priority=args.priority,
+        top_k=args.top_k,
     )
     print(f"submitted {job_id} ({args.kind}, priority {args.priority})")
     if args.no_wait:
@@ -494,8 +505,9 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         print(f"error: {exc}")
         return 1
     cached = " (cached)" if status.get("cached") else ""
+    kind = "" if result.top_k is None else f"top-{result.top_k} "
     print(
-        f"{result.algorithm}: {result.fd_count} FDs in "
+        f"{result.algorithm}: {kind}{result.fd_count} FDs in "
         f"{result.elapsed_seconds:.3f}s{cached}"
     )
     _print_partial_notice(result)
@@ -561,6 +573,15 @@ def build_parser() -> argparse.ArgumentParser:
     _add_input_args(discover)
     discover.add_argument("--algorithm", default="dhyfd", choices=algorithm_names())
     _add_limit_args(discover)
+    discover.add_argument(
+        "--top-k",
+        type=int,
+        default=None,
+        metavar="K",
+        help="discover only the K FDs of highest redundancy (rank-aware "
+        "pruning + early termination; identical to the first K of the "
+        "full ranked cover)",
+    )
     discover.add_argument("--show-fds", action="store_true")
     _add_trace_args(discover)
     discover.set_defaults(handler=_cmd_discover)
@@ -570,6 +591,14 @@ def build_parser() -> argparse.ArgumentParser:
     rank.add_argument("--algorithm", default="dhyfd", choices=algorithm_names())
     _add_limit_args(rank)
     rank.add_argument("--top", type=int, default=15)
+    rank.add_argument(
+        "--top-k",
+        type=int,
+        default=None,
+        metavar="K",
+        help="bound the ranking pass to the K highest-redundancy FDs "
+        "(skips measuring FDs that provably cannot reach the top K)",
+    )
     _add_trace_args(rank)
     rank.set_defaults(handler=_cmd_rank)
 
@@ -698,6 +727,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     submit.add_argument("--name", default=None, help="dataset name alias on the server")
     submit.add_argument("--priority", type=int, default=0)
+    submit.add_argument(
+        "--top-k",
+        type=int,
+        default=None,
+        metavar="K",
+        help="server-side top-k: discover only (or rank only) the K "
+        "highest-redundancy FDs (sent as the ?top_k= query param)",
+    )
     submit.add_argument("--top", type=int, default=15)
     submit.add_argument("--show-fds", action="store_true")
     submit.add_argument(

@@ -767,9 +767,12 @@ class Router:
 
     def _plan(self, session: _Session, request: _HTTPParser) -> None:
         method = request.method
-        path = request.path.split("?")[0]
+        path, _, query = request.path.partition("?")
         parts = [p for p in path.split("/") if p]
         body_bytes = request.body or b""
+        #: Proxied paths keep the original query string (``?top_k=`` on
+        #: /discover and /rank must reach the replica verbatim).
+        target = path + (f"?{query}" if query else "")
 
         if method == "GET" and parts == ["cluster"]:
             session.respond_json(200, self._cluster_payload())
@@ -782,7 +785,7 @@ class Router:
         if method == "POST" and parts == ["datasets"]:
             fingerprint = upload_fingerprint(body)
             shard = self.table.shard_of(fingerprint)
-            self._proxy(session, shard, method, path, body_bytes, hook="upload")
+            self._proxy(session, shard, method, target, body_bytes, hook="upload")
             return
         if (
             method == "POST"
@@ -791,14 +794,14 @@ class Router:
             and parts[2] == "append"
         ):
             shard = self.table.shard_of(parts[1])
-            self._proxy(session, shard, method, path, body_bytes, hook="append")
+            self._proxy(session, shard, method, target, body_bytes, hook="append")
             return
         if method == "POST" and parts in (["discover"], ["rank"]):
             ref = body.get("dataset")
             if not ref:
                 raise _PlanError(400, "job submission needs a 'dataset' reference")
             shard = self.table.shard_of(str(ref))
-            self._proxy(session, shard, method, path, body_bytes, hook="jobs")
+            self._proxy(session, shard, method, target, body_bytes, hook="jobs")
             return
         if parts and parts[0] == "jobs" and len(parts) in (2, 3):
             shard, local_id = self._parse_job_ref(parts[1])
@@ -811,7 +814,7 @@ class Router:
                 session,
                 shard,
                 method,
-                f"/jobs/{local_id}{suffix}",
+                f"/jobs/{local_id}{suffix}" + (f"?{query}" if query else ""),
                 body_bytes,
                 hook="jobs",
             )

@@ -176,20 +176,50 @@ class DiscoveryAlgorithm(abc.ABC):
         the result instead reports ``completed=False``, the sound
         subset of the cover, and the ``unverified`` remainder.
         """
+        return self._run(relation, top_k=None)
+
+    def discover_top_k(self, relation: Relation, k: int) -> DiscoveryResult:
+        """Discover only the k FDs of highest null-inclusive redundancy.
+
+        The result's ``fds`` are byte-identical to the first k entries
+        of ranking the full cover with
+        :func:`~repro.ranking.ranker.rank_cover` (same
+        ``(-redundancy, lhs, rhs)`` tie-break), but algorithms with a
+        rank-aware search (DHyFD, TANE) prune candidate LHSs whose
+        redundancy upper bound cannot reach the running k-th redundancy
+        and terminate early — ``stats.pruned_candidates`` counts the
+        skipped candidates and ``result.top_k`` records k.  The default
+        implementation falls back to a full search followed by a
+        bounded ranking pass.
+
+        A partial result (``on_limit="partial"`` with a tripped limit)
+        degrades to the sound anytime snapshot, which for top-k runs is
+        the best-k-so-far of the FDs measured before the limit hit.
+        """
+        if k < 1:
+            raise ValueError(f"top_k must be >= 1, got {k}")
+        return self._run(relation, top_k=k)
+
+    def _run(self, relation: Relation, top_k: Optional[int]) -> DiscoveryResult:
         context = RunContext(self.name, self._run_budget())
         tracer = current_tracer()
         start = time.perf_counter()
         completed = True
         unverified = FDSet()
         limit_reason: Optional[str] = None
+        annotations = {} if top_k is None else {"top_k": top_k}
         with tracer.span(
             "discovery",
             algorithm=self.name,
             rows=relation.n_rows,
             cols=relation.n_cols,
+            **annotations,
         ):
             try:
-                fds, stats = self._find_fds(relation, context)
+                if top_k is None:
+                    fds, stats = self._find_fds(relation, context)
+                else:
+                    fds, stats = self._find_top_k(relation, top_k, context)
             except (TimeLimitExceeded, BudgetExceeded, MemoryError) as exc:
                 if self.on_limit != "partial":
                     raise
@@ -214,6 +244,7 @@ class DiscoveryAlgorithm(abc.ABC):
             completed=completed,
             unverified=unverified,
             limit_reason=limit_reason,
+            top_k=top_k,
         )
 
     @abc.abstractmethod
@@ -226,6 +257,23 @@ class DiscoveryAlgorithm(abc.ABC):
         :meth:`discover`; tests may pass a bare :class:`Deadline`, so
         subclasses must treat context-only features as optional.
         """
+
+    def _find_top_k(
+        self, relation: Relation, k: int, deadline: "RunContext"
+    ) -> Tuple[FDSet, DiscoveryStats]:
+        """Compute the top-k cover; override for a rank-aware search.
+
+        The generic fallback runs the full search and then a bounded
+        ranking pass; the FDs whose exact redundancy the bounded pass
+        never had to measure count as ``pruned_candidates``.  DHyFD and
+        TANE override this with in-search pruning.
+        """
+        from ..ranking.ranker import rank_cover
+
+        fds, stats = self._find_fds(relation, deadline)
+        ranking = rank_cover(relation, fds, deadline=deadline, top_k=k)
+        stats.pruned_candidates += ranking.bound_skipped
+        return FDSet(ranked.fd for ranked in ranking.ranked), stats
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"

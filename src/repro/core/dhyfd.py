@@ -9,6 +9,17 @@ efficiency–inefficiency ratio decides whether the DDM should refine its
 partitions up to this level — switching to a row-based, memory-heavier
 mode exactly when the evidence says many FDs above will be *valid* and
 therefore worth the finer partitions.
+
+Top-k mode (:meth:`~repro.core.base.DiscoveryAlgorithm.discover_top_k`)
+threads a :class:`~repro.ranking.topk.TopKTracker` through the same
+search: confirmed FDs are measured lazily through a side
+:class:`~repro.partitions.cache.PartitionCache` (the null-inclusive
+redundancy of ``X -> A`` is ``||pi_X||``), candidate nodes whose cheap
+redundancy bound (smallest singleton partition of the LHS) falls
+strictly below the running k-th redundancy are skipped — they stay in
+the tree so minimality invariants hold, but are never validated or
+confirmed — and the level loop terminates early once no reachable node
+can enter the top-k.
 """
 
 from __future__ import annotations
@@ -21,6 +32,8 @@ from ..parallel import ParallelExecutor, PoolBrokenError, resolve_jobs
 from ..parallel import config as parallel_config
 from ..parallel import merge_validation_outcomes
 from ..parallel import validate_level as parallel_validate_level
+from ..partitions.cache import PartitionCache
+from ..ranking.topk import TopKTracker
 from ..relational import attrset
 from ..relational.attrset import AttrSet
 from ..relational.fd import FD, FDSet, normalize_singleton_cover
@@ -127,11 +140,30 @@ class DHyFD(DiscoveryAlgorithm):
             if executor is not None:
                 executor.close()
 
+    def _find_top_k(
+        self, relation: Relation, k: int, deadline: Deadline
+    ) -> Tuple[FDSet, DiscoveryStats]:
+        """Rank-aware search: skip validating lattice regions that
+        cannot reach the running k-th redundancy (see ``tracker`` in
+        :meth:`_find_fds_impl`)."""
+        tracker = TopKTracker(k)
+        executor = self._make_executor(relation)
+        try:
+            fds, stats = self._find_fds_impl(
+                relation, deadline, executor, tracker=tracker
+            )
+        finally:
+            if executor is not None:
+                executor.close()
+        stats.pruned_candidates += tracker.pruned_candidates
+        return fds, stats
+
     def _find_fds_impl(
         self,
         relation: Relation,
         deadline: Deadline,
         executor: Optional[ParallelExecutor],
+        tracker: Optional[TopKTracker] = None,
     ) -> Tuple[FDSet, DiscoveryStats]:
         stats = DiscoveryStats()
         tracer = current_tracer()
@@ -150,6 +182,44 @@ class DHyFD(DiscoveryAlgorithm):
         #: to be retracted when later levels find more violations.
         confirmed: List[Tuple[AttrSet, AttrSet]] = []
 
+        # --- top-k wiring: a side cache measures the exact redundancy
+        # of confirmed FDs (the null-inclusive redundancy of X -> A is
+        # ||pi_X||), lazily — an FD whose cheap bound (smallest
+        # singleton partition on its LHS, or the exact partition when
+        # already cached) falls strictly below the running k-th
+        # redundancy can never enter the top-k, so its partition is
+        # never built.  The same bound gates *validation*: a candidate
+        # node is skipped entirely when nothing in its subtree (every
+        # descendant FD has a superset LHS, hence a no-larger
+        # redundancy) can reach the threshold.
+        measure_cache = (
+            PartitionCache(relation, backend=self.backend)
+            if tracker is not None
+            else None
+        )
+
+        def _cheap_bound(path: AttrSet) -> int:
+            if path == attrset.EMPTY:
+                return ddm.universal.size
+            exact = measure_cache.peek(path)
+            if exact is not None:
+                return exact.size
+            return min(
+                measure_cache.peek(attrset.singleton(attr)).size
+                for attr in attrset.iter_attrs(path)
+            )
+
+        def _measure(path: AttrSet, rhs: AttrSet) -> None:
+            if tracker.can_prune(_cheap_bound(path)):
+                return
+            redundancy = (
+                ddm.universal.size
+                if path == attrset.EMPTY
+                else measure_cache.get(path).size
+            )
+            for attr in attrset.iter_attrs(rhs):
+                tracker.add(FD(path, attrset.singleton(attr)), redundancy)
+
         def _partial_snapshot() -> Tuple[FDSet, FDSet]:
             sound = normalize_singleton_cover(
                 FD(lhs, rhs) for lhs, rhs in confirmed if rhs
@@ -163,7 +233,13 @@ class DHyFD(DiscoveryAlgorithm):
 
         if isinstance(deadline, RunContext):
             deadline.stats = stats
-            deadline.set_partial_provider(_partial_snapshot)
+            if tracker is None:
+                deadline.set_partial_provider(_partial_snapshot)
+            else:
+                # Best-k-so-far: every measured FD is exactly validated,
+                # so the snapshot is a sound (if possibly incomplete)
+                # top-k prefix.
+                deadline.set_partial_provider(lambda: (tracker.cover(), FDSet()))
             sentinel = deadline.install_memory_sentinel(ddm.memory_bytes)
             if sentinel is not None:
                 sentinel.add_stage(
@@ -201,11 +277,11 @@ class DHyFD(DiscoveryAlgorithm):
             self._induct_all(tree, violations, applied, 0, 0, None, stats, deadline)
         # Root candidates were exactly validated against ddm.universal:
         # whatever RHS survives induction is sound.
-        confirmed.extend(
-            (node.path(), node.rhs)
-            for node in tree.nodes_at_level(0)
-            if not node.deleted and node.rhs
-        )
+        for node in tree.nodes_at_level(0):
+            if not node.deleted and node.rhs:
+                confirmed.append((node.path(), node.rhs))
+                if tracker is not None:
+                    _measure(node.path(), node.rhs)
 
         controlled_level = 1
         validation_level = 1
@@ -219,6 +295,23 @@ class DHyFD(DiscoveryAlgorithm):
             # work, and counting them skews the efficiency–inefficiency
             # ratio toward refreshing too early.
             todo = [node for node in candidates if not node.deleted and node.rhs]
+            # Top-k pruning: skip validating a node when its redundancy
+            # bound is strictly below the running k-th redundancy —
+            # neither it nor any specialization (superset LHS, hence
+            # no-larger redundancy) can enter the top-k.  Pruned nodes
+            # stay in the tree so the minimality invariants (generaliza-
+            # tion checks during induction) keep working; they are only
+            # excluded from validation and confirmation.
+            pruned_ids: Set[int] = set()
+            if tracker is not None and tracker.full:
+                kept: List[ExtFDNode] = []
+                for node in todo:
+                    if tracker.can_prune(_cheap_bound(node.path())):
+                        pruned_ids.add(id(node))
+                        tracker.pruned_candidates += 1
+                    else:
+                        kept.append(node)
+                todo = kept
             total = sum(attrset.count(node.rhs) for node in todo)
             vl_nodes: List[ExtFDNode] = list(candidates)
 
@@ -248,13 +341,19 @@ class DHyFD(DiscoveryAlgorithm):
                     deadline,
                 )
 
-            live = [node for node in candidates if not node.deleted]
+            live = [
+                node
+                for node in candidates
+                if not node.deleted and id(node) not in pruned_ids
+            ]
             # Every live (path, rhs) at this level was exactly validated
             # (violations already inducted away) — snapshot for anytime
             # partial results before any limit can trip below.
-            confirmed.extend(
-                (node.path(), node.rhs) for node in live if node.rhs
-            )
+            for node in live:
+                if node.rhs:
+                    confirmed.append((node.path(), node.rhs))
+                    if tracker is not None:
+                        _measure(node.path(), node.rhs)
             reusables = [node for node in live if node.children]
             valid_here = sum(attrset.count(node.rhs) for node in live)
             validated_fds += valid_here
@@ -322,6 +421,30 @@ class DHyFD(DiscoveryAlgorithm):
             stats.levels_processed += 1
             validation_level += 1
             candidates = tree.nodes_at_level(validation_level)
+            # Early termination: once the tracker is full, stop as soon
+            # as no still-unvalidated FD node (depth >= the next
+            # validation level) can reach the running k-th redundancy.
+            # Shallower nodes were already validated and measured.
+            if (
+                tracker is not None
+                and tracker.full
+                and candidates
+                and not any(
+                    node.depth >= validation_level
+                    and not node.deleted
+                    and node.rhs
+                    and not tracker.can_prune(_cheap_bound(node.path()))
+                    for node in tree.iter_fd_nodes()
+                )
+            ):
+                tracker.pruned_candidates += sum(
+                    1
+                    for node in tree.iter_fd_nodes()
+                    if node.depth >= validation_level
+                    and not node.deleted
+                    and node.rhs
+                )
+                break
 
         stats.record_cache(ddm)
         tracer.event(
@@ -342,6 +465,8 @@ class DHyFD(DiscoveryAlgorithm):
         cache_counters.gauge("partition_cache.memory_bytes").set_max(
             stats.partition_memory_peak_bytes
         )
+        if tracker is not None:
+            return tracker.cover(), stats
         return normalize_singleton_cover(tree.iter_fds()), stats
 
     def _validate_level(

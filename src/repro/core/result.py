@@ -34,6 +34,10 @@ class DiscoveryStats:
     partition_cache_evictions: int = 0
     partition_singleton_lookups: int = 0
     strategy_switches: int = 0
+    #: Candidate LHSs skipped by a top-k run because their redundancy
+    #: upper bound fell below the running k-th redundancy (zero for
+    #: full discovery — see :meth:`DiscoveryAlgorithm.discover_top_k`).
+    pruned_candidates: int = 0
     level_log: List[Dict[str, float]] = field(default_factory=list)
 
     def record_cache(self, cache) -> None:
@@ -65,6 +69,12 @@ class DiscoveryResult:
     ``unverified`` the candidates the run never got to confirm, and
     ``limit_reason`` names the tripped resource (``"time"``,
     ``"memory"`` or ``"rss"``).
+
+    ``top_k`` is None for full covers.  When set (the result came from
+    :meth:`~repro.core.base.DiscoveryAlgorithm.discover_top_k`), ``fds``
+    holds only the k FDs of highest null-inclusive redundancy — byte
+    identical to the first k of the full ranked cover — and the result
+    must never be treated as (or cached as) a full cover.
     """
 
     algorithm: str
@@ -76,6 +86,7 @@ class DiscoveryResult:
     completed: bool = True
     unverified: FDSet = field(default_factory=FDSet)
     limit_reason: Optional[str] = None
+    top_k: Optional[int] = None
 
     @property
     def fd_count(self) -> int:
@@ -108,6 +119,7 @@ class DiscoveryResult:
             "peak_memory_bytes": self.peak_memory_bytes,
             "completed": self.completed,
             "limit_reason": self.limit_reason,
+            "top_k": self.top_k,
             "stats": dataclasses.asdict(self.stats),
         }
 
@@ -144,6 +156,7 @@ class DiscoveryResult:
             completed=bool(payload.get("completed", True)),
             unverified=cover_from_payload(payload["unverified"], schema),
             limit_reason=payload.get("limit_reason"),
+            top_k=payload.get("top_k"),
         )
 
     @classmethod
@@ -155,7 +168,8 @@ class DiscoveryResult:
         suffix = "" if self.completed else (
             f", partial/{self.limit_reason}: {len(self.unverified)} unverified"
         )
+        kind = "" if self.top_k is None else f"top-{self.top_k} "
         return (
-            f"DiscoveryResult({self.algorithm}: {self.fd_count} FDs in "
+            f"DiscoveryResult({self.algorithm}: {kind}{self.fd_count} FDs in "
             f"{self.elapsed_seconds:.3f}s{suffix})"
         )

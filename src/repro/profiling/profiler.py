@@ -85,6 +85,7 @@ def profile(
     rank: bool = True,
     time_limit: Optional[float] = None,
     trace: Union[bool, Tracer, None] = False,
+    top_k: Optional[int] = None,
     **algorithm_kwargs,
 ) -> FDProfile:
     """Profile a relation end to end.
@@ -96,6 +97,11 @@ def profile(
             first (None keeps the relation's current encoding).
         rank: also compute the redundancy ranking (skippable because it
             costs one partition pass per FD of the canonical cover).
+        top_k: bound the ranking to the k highest-redundancy FDs — the
+            bounded pass skips measuring FDs whose redundancy upper
+            bound cannot reach the running k-th redundancy (see
+            :func:`~repro.ranking.ranker.rank_cover`).  Discovery and
+            covers are unaffected.
         time_limit: wall-clock cap forwarded to the algorithm.  With
             ``on_limit="partial"`` (an ``algorithm_kwargs`` entry) the
             *remaining* wall-clock time also bounds the ranking passes;
@@ -136,7 +142,9 @@ def profile(
                 Deadline(remaining, "ranking") if remaining is not None else None
             )
             try:
-                ranking = rank_cover(relation, canonical, deadline=rank_deadline)
+                ranking = rank_cover(
+                    relation, canonical, deadline=rank_deadline, top_k=top_k
+                )
                 redundancy = dataset_redundancy(
                     relation, canonical, deadline=rank_deadline
                 )

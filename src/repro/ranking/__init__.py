@@ -14,9 +14,11 @@ from .redundancy import (
     count_redundant,
     dataset_redundancy,
     redundancy_positions,
+    redundancy_upper_bound,
     redundant_rows_for_lhs,
 )
 from .report import ColumnDeterminant, column_determinants
+from .topk import TopKTracker
 
 __all__ = [
     "ColumnDeterminant",
@@ -26,6 +28,7 @@ __all__ = [
     "RedundancyWitness",
     "RankingResult",
     "RedundancyReport",
+    "TopKTracker",
     "column_determinants",
     "count_redundant",
     "dataset_redundancy",
@@ -33,6 +36,7 @@ __all__ = [
     "rank_cover",
     "redundancy_histogram",
     "redundancy_positions",
+    "redundancy_upper_bound",
     "redundant_rows_for_lhs",
     "violating_pairs",
 ]

@@ -10,14 +10,21 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from ..partitions.cache import PartitionCache
+from ..relational import attrset
 from ..relational.fd import FD, FDSet
 from ..relational.relation import Relation
 from ..relational.schema import RelationSchema
 from ..telemetry import current_tracer
-from .redundancy import NullPolicy, count_redundant
+from .redundancy import (
+    NullPolicy,
+    _parallel_rows_by_lhs,
+    count_redundant,
+    redundancy_upper_bound,
+)
+from .topk import TopKTracker
 
 #: Fig. 10's x-axis: fractions of the maximum per-FD redundancy.
 DEFAULT_BUCKET_FRACTIONS: Tuple[float, ...] = (
@@ -60,10 +67,19 @@ class RankedFD:
 
 @dataclass
 class RankingResult:
-    """A ranked cover plus the time the ranking took."""
+    """A ranked cover plus the time the ranking took.
+
+    In bounded mode (``rank_cover(..., top_k=k)``) ``ranked`` holds
+    exactly the first k entries of the full ranking, ``top_k`` records
+    the requested k, and ``bound_skipped`` counts the FDs whose exact
+    redundancy was never measured because their upper bound could not
+    reach the running k-th redundancy.
+    """
 
     ranked: List[RankedFD]
     seconds: float
+    top_k: Optional[int] = None
+    bound_skipped: int = 0
 
     def top(self, n: int) -> List[RankedFD]:
         """The ``n`` most redundancy-causing FDs."""
@@ -86,7 +102,11 @@ class RankingResult:
 
 
 def rank_cover(
-    relation: Relation, cover: Iterable[FD], deadline=None
+    relation: Relation,
+    cover: Iterable[FD],
+    deadline=None,
+    top_k: Optional[int] = None,
+    jobs: Optional[int] = None,
 ) -> RankingResult:
     """Rank every FD of a cover by descending redundancy.
 
@@ -95,29 +115,119 @@ def rank_cover(
     for determinism.  ``deadline`` (a
     :class:`~repro.core.base.Deadline`) is polled per FD so a driver's
     time limit bounds the ranking pass too.
+
+    With ``top_k=k`` the pass runs in bounded mode: FDs are measured in
+    descending order of their :func:`redundancy_upper_bound`, and the
+    pass stops as soon as the next bound falls strictly below the
+    running k-th redundancy — the remaining FDs cannot enter the top-k
+    even via tie-breaks, so the returned list is byte-identical to the
+    first k entries of the full ranking at a fraction of the partition
+    work.
+
+    With ``jobs`` > 1 the full pass computes its per-LHS redundant-row
+    masks on a worker pool (one LHS per task, OR-merged); ranking order
+    and counts are identical to the serial loop for any worker count
+    because all counts are derived from the same masks and the final
+    sort uses the full ``(-redundancy, lhs, rhs)`` key.  Bounded mode
+    measures few FDs by construction and always runs serially.
     """
     start = time.perf_counter()
     fds = list(cover)
+    if top_k is not None and top_k < 1:
+        raise ValueError(f"top_k must be >= 1, got {top_k}")
     with current_tracer().span("ranking", fds=len(fds)):
         cache = PartitionCache(relation)
-        ranked = []
-        for fd in fds:
-            if deadline is not None:
-                deadline.check()
-            ranked.append(
-                RankedFD(
-                    fd=fd,
-                    redundancy=count_redundant(
-                        relation, fd, NullPolicy.INCLUDE, cache
-                    ),
-                    redundancy_excluding_null=count_redundant(
-                        relation, fd, NullPolicy.EXCLUDE_RHS, cache
-                    ),
-                )
-            )
-        ranked.sort(key=lambda r: (-r.redundancy, r.fd.lhs, r.fd.rhs))
+        if top_k is not None:
+            ranked, skipped = _rank_bounded(relation, fds, top_k, cache, deadline)
+        else:
+            ranked, skipped = _rank_full(relation, fds, cache, deadline, jobs)
         cache.record_telemetry(scope="ranking")
-    return RankingResult(ranked=ranked, seconds=time.perf_counter() - start)
+    return RankingResult(
+        ranked=ranked,
+        seconds=time.perf_counter() - start,
+        top_k=top_k,
+        bound_skipped=skipped,
+    )
+
+
+def _rank_full(
+    relation: Relation,
+    fds: List[FD],
+    cache: PartitionCache,
+    deadline,
+    jobs: Optional[int],
+) -> Tuple[List[RankedFD], int]:
+    """The classic exhaustive pass: one exact measurement per FD."""
+    unique_lhs = list(dict.fromkeys(fd.lhs for fd in fds))
+    # One INCLUDE mask per LHS serves both counts: EXCLUDE_RHS only
+    # filters by the RHS attribute's own null mask afterwards.
+    rows_by_lhs = _parallel_rows_by_lhs(
+        relation, unique_lhs, NullPolicy.INCLUDE, jobs
+    )
+    ranked = []
+    for fd in fds:
+        if deadline is not None:
+            deadline.check()
+        if rows_by_lhs is not None:
+            rows = rows_by_lhs[fd.lhs]
+            redundancy = int(rows.sum()) * attrset.count(fd.rhs)
+            excluding = sum(
+                int((rows & ~relation.null_mask(attr)).sum())
+                for attr in attrset.iter_attrs(fd.rhs)
+            )
+        else:
+            redundancy = count_redundant(relation, fd, NullPolicy.INCLUDE, cache)
+            excluding = count_redundant(relation, fd, NullPolicy.EXCLUDE_RHS, cache)
+        ranked.append(
+            RankedFD(
+                fd=fd,
+                redundancy=redundancy,
+                redundancy_excluding_null=excluding,
+            )
+        )
+    ranked.sort(key=lambda r: (-r.redundancy, r.fd.lhs, r.fd.rhs))
+    return ranked, 0
+
+
+def _rank_bounded(
+    relation: Relation,
+    fds: List[FD],
+    k: int,
+    cache: PartitionCache,
+    deadline,
+) -> Tuple[List[RankedFD], int]:
+    """Measure in descending-bound order behind a running k-th threshold."""
+    bounds = [
+        (
+            redundancy_upper_bound(relation, fd.lhs, cache)
+            * attrset.count(fd.rhs),
+            fd,
+        )
+        for fd in fds
+    ]
+    bounds.sort(key=lambda entry: (-entry[0], entry[1].lhs, entry[1].rhs))
+    tracker = TopKTracker(k)
+    skipped = 0
+    for index, (bound, fd) in enumerate(bounds):
+        if deadline is not None:
+            deadline.check()
+        if tracker.can_prune(bound):
+            # Bounds are non-increasing from here on and the threshold
+            # never drops, so every remaining FD is prunable too.
+            skipped = len(bounds) - index
+            break
+        tracker.add(fd, count_redundant(relation, fd, NullPolicy.INCLUDE, cache))
+    ranked = [
+        RankedFD(
+            fd=fd,
+            redundancy=redundancy,
+            redundancy_excluding_null=count_redundant(
+                relation, fd, NullPolicy.EXCLUDE_RHS, cache
+            ),
+        )
+        for fd, redundancy in tracker.top()
+    ]
+    return ranked, skipped
 
 
 def redundancy_histogram(
@@ -130,14 +240,22 @@ def redundancy_histogram(
     number of FDs whose redundancy is at most that x-value *and* more
     than the previous x-value (the first bucket counts exactly zero).
     Returns ``(threshold, count)`` pairs.
+
+    When the maximum is small, several fractions round to the same
+    integer threshold; such duplicates cover an empty range and are
+    merged away instead of emitted as ``(threshold, 0)`` repeats.  An
+    all-zero input therefore collapses to the single bucket
+    ``[(0, n)]`` and an empty input to ``[(0, 0)]``.
     """
     if not redundancies:
-        return [(0, 0) for _ in fractions]
+        return [(0, 0)]
     maximum = max(redundancies)
     buckets: List[Tuple[int, int]] = []
     previous = -1
     for fraction in fractions:
         threshold = int(round(fraction * maximum))
+        if buckets and threshold == buckets[-1][0]:
+            continue  # same threshold as the last bucket: empty range
         count = sum(1 for value in redundancies if previous < value <= threshold)
         buckets.append((threshold, count))
         previous = threshold

@@ -107,6 +107,45 @@ def count_redundant(
     return total
 
 
+def redundancy_upper_bound(
+    relation: Relation,
+    lhs: AttrSet,
+    cache: Optional[PartitionCache] = None,
+) -> int:
+    """Cheap upper bound on ``||pi_lhs||`` from cached partitions.
+
+    Every row a partition strips stays stripped under refinement, so
+    for any ``S ⊆ lhs`` it holds that ``||pi_lhs|| <= ||pi_S||`` — and
+    the null-inclusive redundancy of a singleton-RHS FD ``lhs -> A`` is
+    exactly ``||pi_lhs||``.  The bound therefore also covers every FD
+    whose LHS is a *superset* of ``lhs``, which is what lets top-k
+    discovery prune whole lattice regions (see
+    :mod:`repro.ranking.topk`).
+
+    With a cache, the exact partition is used when already present and
+    the seeded singletons otherwise (O(|lhs|) dictionary lookups, no
+    partition is ever built); without one, singleton partitions are
+    built directly.
+    """
+    if lhs == attrset.EMPTY:
+        return relation.n_rows if relation.n_rows >= 2 else 0
+    if cache is not None:
+        exact = cache.peek(lhs)
+        if exact is not None:
+            return exact.size
+    best: Optional[int] = None
+    for attr in attrset.iter_attrs(lhs):
+        if cache is not None:
+            partition = cache.peek(attrset.singleton(attr))
+            if partition is None:  # pragma: no cover — caches seed singletons
+                partition = StrippedPartition.for_attribute(relation, attr)
+        else:
+            partition = StrippedPartition.for_attribute(relation, attr)
+        if best is None or partition.size < best:
+            best = partition.size
+    return best if best is not None else 0
+
+
 def _parallel_rows_by_lhs(
     relation: Relation,
     unique_lhs: Sequence[AttrSet],

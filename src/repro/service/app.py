@@ -26,13 +26,16 @@ guarantees of the parallel/kernel layers carry over.
 from __future__ import annotations
 
 import threading
+import time
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
 from .. import __version__
 from ..algorithms.registry import make_algorithm
+from ..core.result import DiscoveryResult, DiscoveryStats
 from ..covers.canonical import canonical_cover
 from ..ranking.ranker import rank_cover
+from ..relational.fd import FDSet
 from ..relational.io import read_csv_text
 from ..relational.relation import Relation
 from ..telemetry import MetricsRegistry, Tracer, trace_summary, use_tracer
@@ -162,11 +165,22 @@ class FDService:
         tracer = Tracer()
         with use_tracer(tracer):
             with tracer.span("service.job", job_id=job.job_id, kind=job.kind):
-                result = self._discover_with_cache(job, entry)
+                # A rank job always works from the *full* cover (ranking
+                # needs the canonical cover of everything), so its
+                # discovery runs — and caches — under the full-cover
+                # key; a top_k only bounds the ranking pass below.
+                if job.kind == "rank":
+                    result = self._discover_with_cache(
+                        job, entry, config=job.config.without_top_k()
+                    )
+                else:
+                    result = self._discover_with_cache(job, entry)
                 job.result = result
                 if job.kind == "rank":
                     ranking = rank_cover(
-                        entry.relation, canonical_cover(result.fds)
+                        entry.relation,
+                        canonical_cover(result.fds),
+                        top_k=job.config.top_k,
                     )
                     job.ranking = [
                         {
@@ -178,10 +192,21 @@ class FDService:
                     ]
         job.trace = trace_summary(tracer)
 
-    def _discover_with_cache(self, job: Job, entry: DatasetEntry):
-        """Cache-checked discovery with single-flight deduplication."""
-        config = job.config
+    def _discover_with_cache(
+        self, job: Job, entry: DatasetEntry, config: Optional[JobConfig] = None
+    ):
+        """Cache-checked discovery with single-flight deduplication.
+
+        Top-k requests key the cache with ``top_k`` included, so a
+        top-k prefix can never be served where a full cover was asked
+        for.  The reverse *is* sound: when the matching full cover is
+        already cached, the top-k answer is derived from it by a
+        bounded ranking pass instead of re-running discovery.
+        """
+        if config is None:
+            config = job.config
         key = (entry.fingerprint, config.algorithm, config.key())
+        full_config = config.without_top_k()
         while True:
             # The store check and the in-flight claim are one atomic
             # step: a leader publishes its result *before* releasing
@@ -189,7 +214,10 @@ class FDService:
             # computed it.
             with self._inflight_lock:
                 cached = self.store.get(entry.fingerprint, config)
-                if cached is None:
+                full_cached = None
+                if cached is None and config.top_k is not None:
+                    full_cached = self.store.get(entry.fingerprint, full_config)
+                if cached is None and full_cached is None:
                     leader = self._inflight.get(key)
                     if leader is None:
                         self._inflight[key] = job
@@ -197,6 +225,12 @@ class FDService:
                 job.cached = True
                 self._count("service.jobs.cache_hits")
                 return cached
+            if full_cached is not None:
+                job.cached = True
+                self._count("service.jobs.topk_derived")
+                derived = self._derive_top_k(entry, config, full_cached)
+                self.store.put(entry.fingerprint, config, derived)
+                return derived
             if leader is None:
                 break
             # Another job is computing the same (dataset, config): wait
@@ -208,13 +242,32 @@ class FDService:
         try:
             self._count("service.discovery.runs")
             algo = make_algorithm(config.algorithm, **config.algorithm_kwargs())
-            result = algo.discover(entry.relation)
+            if config.top_k is not None:
+                result = algo.discover_top_k(entry.relation, config.top_k)
+            else:
+                result = algo.discover(entry.relation)
             self.store.put(entry.fingerprint, config, result)
             return result
         finally:
             with self._inflight_lock:
                 if self._inflight.get(key) is job:
                     del self._inflight[key]
+
+    @staticmethod
+    def _derive_top_k(
+        entry: DatasetEntry, config: JobConfig, full: DiscoveryResult
+    ) -> DiscoveryResult:
+        """A top-k result sliced off a cached full cover (no discovery)."""
+        start = time.perf_counter()
+        ranking = rank_cover(entry.relation, full.fds, top_k=config.top_k)
+        return DiscoveryResult(
+            algorithm=full.algorithm,
+            schema=full.schema,
+            fds=FDSet(ranked.fd for ranked in ranking.ranked),
+            elapsed_seconds=time.perf_counter() - start,
+            stats=DiscoveryStats(pruned_candidates=ranking.bound_skipped),
+            top_k=config.top_k,
+        )
 
     # ------------------------------------------------------------------
     # Introspection

@@ -64,9 +64,11 @@ class ServiceClient:
     Transient transport failures — connection refused/reset while a
     replica restarts, or a 503 + ``Retry-After`` from a draining shard
     — are retried with exponential backoff, so replica restarts are
-    invisible to callers.  Requests are safe to repeat: uploads are
-    idempotent by fingerprint and job submissions coalesce through the
-    service's single-flight dedup.
+    invisible to callers.  Most requests are safe to repeat: uploads
+    are idempotent by fingerprint and job submissions coalesce through
+    the service's single-flight dedup.  :meth:`append` is the
+    exception — it only retries 503s, never connection failures, since
+    a reset mid-request may mean the rows were already applied.
     """
 
     def __init__(
@@ -102,7 +104,17 @@ class ServiceClient:
         path: str,
         payload: Optional[Dict[str, object]] = None,
         timeout: Optional[float] = None,
+        idempotent: bool = True,
     ) -> Dict[str, object]:
+        """One request with retries.
+
+        ``idempotent=False`` (the append path) disables retrying
+        connection-reset style failures: a reset after the server read
+        the body means the request may already have been applied, and
+        replaying a non-idempotent append would apply it twice.  503s
+        are still retried — the server refused the job before doing any
+        work, so repeating is always safe.
+        """
         last_error: Optional[ServiceError] = None
         for attempt in range(self.retries + 1):
             try:
@@ -111,7 +123,12 @@ class ServiceClient:
                 retry_after = exc.retry_after if exc.status == 503 else None
                 if exc.status == 503 and attempt < self.retries:
                     last_error = exc
-                elif exc.status is None and exc.retryable and attempt < self.retries:
+                elif (
+                    exc.status is None
+                    and exc.retryable
+                    and idempotent
+                    and attempt < self.retries
+                ):
                     last_error = exc
                 else:
                     raise
@@ -206,11 +223,21 @@ class ServiceClient:
         )
 
     def append(self, dataset: str, rows: Sequence[Sequence[object]]) -> Dict[str, object]:
-        """Append rows; returns the new dataset version description."""
+        """Append rows; returns the new dataset version description.
+
+        Not idempotent — repeating a delivered append applies the rows
+        twice — so connection-level failures are *not* retried (see
+        :meth:`_request`); a 503 from a draining replica still is.
+        """
         encoded = [
             [None if is_null(value) else value for value in row] for row in rows
         ]
-        return self._request("POST", f"/datasets/{dataset}/append", {"rows": encoded})
+        return self._request(
+            "POST",
+            f"/datasets/{dataset}/append",
+            {"rows": encoded},
+            idempotent=False,
+        )
 
     def datasets(self) -> List[Dict[str, object]]:
         """All registered dataset versions."""
@@ -220,17 +247,25 @@ class ServiceClient:
     # Jobs
     # ------------------------------------------------------------------
 
+    @staticmethod
+    def _job_path(kind: str, top_k: Optional[int]) -> str:
+        """The job endpoint, with ``top_k`` as a query param when set."""
+        if top_k is None:
+            return f"/{kind}"
+        return f"/{kind}?top_k={int(top_k)}"
+
     def submit(
         self,
         dataset: str,
         kind: str = "discover",
         config: Optional[Dict[str, object]] = None,
         priority: int = 0,
+        top_k: Optional[int] = None,
     ) -> str:
         """Queue a job; returns its id immediately."""
         response = self._request(
             "POST",
-            f"/{kind}",
+            self._job_path(kind, top_k),
             {"dataset": dataset, "config": config or {}, "priority": priority},
         )
         return response["job_id"]
@@ -266,11 +301,17 @@ class ServiceClient:
         config: Optional[Dict[str, object]] = None,
         priority: int = 0,
         timeout: Optional[float] = None,
+        top_k: Optional[int] = None,
     ) -> Dict[str, object]:
-        """Submit a discover job and wait server-side; returns the status."""
+        """Submit a discover job and wait server-side; returns the status.
+
+        ``top_k`` limits the cover to the k FDs of highest redundancy
+        (sent as the ``?top_k=`` query param, which overrides any
+        body-config value).
+        """
         return self._request(
             "POST",
-            "/discover",
+            self._job_path("discover", top_k),
             {
                 "dataset": dataset,
                 "config": config or {},
@@ -287,11 +328,16 @@ class ServiceClient:
         config: Optional[Dict[str, object]] = None,
         priority: int = 0,
         timeout: Optional[float] = None,
+        top_k: Optional[int] = None,
     ) -> Dict[str, object]:
-        """Submit a rank job and wait server-side; returns the status."""
+        """Submit a rank job and wait server-side; returns the status.
+
+        ``top_k`` bounds the returned ranking to its first k entries
+        (the full cover is still discovered and cached).
+        """
         return self._request(
             "POST",
-            "/rank",
+            self._job_path("rank", top_k),
             {
                 "dataset": dataset,
                 "config": config or {},

@@ -11,7 +11,7 @@ and omitted-vs-default fields all normalize away.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, Optional, Tuple
 
 from ..algorithms.registry import algorithm_names
@@ -31,6 +31,12 @@ class JobConfig:
     ``extra`` carries algorithm-specific constructor kwargs (e.g.
     DHyFD's ``ratio_threshold``) as a sorted tuple of pairs so the
     dataclass stays hashable and the cache key deterministic.
+
+    ``top_k`` asks for only the k FDs of highest redundancy (see
+    :meth:`~repro.core.base.DiscoveryAlgorithm.discover_top_k`).  It is
+    part of the cache key — a top-k result must never be served as a
+    full cover — but a cached *full* cover may answer a top-k request
+    by ranking it (see ``FDService._discover_with_cache``).
     """
 
     algorithm: str = "dhyfd"
@@ -39,6 +45,7 @@ class JobConfig:
     time_limit: Optional[float] = None
     memory_budget: Optional[int] = None
     on_limit: str = "raise"
+    top_k: Optional[int] = None
     extra: Tuple[Tuple[str, object], ...] = ()
 
     def __post_init__(self):
@@ -51,6 +58,8 @@ class JobConfig:
             raise ConfigError(
                 f"on_limit must be one of {_ON_LIMIT_POLICIES}, got {self.on_limit!r}"
             )
+        if self.top_k is not None and self.top_k < 1:
+            raise ConfigError(f"top_k must be >= 1, got {self.top_k}")
 
     @classmethod
     def from_dict(cls, data: Optional[Dict[str, object]]) -> "JobConfig":
@@ -66,6 +75,11 @@ class JobConfig:
         time_limit = data.pop("time_limit", None)
         memory_budget = data.pop("memory_budget", None)
         on_limit = str(data.pop("on_limit", "raise"))
+        top_k = data.pop("top_k", None)
+        try:
+            top_k = int(top_k) if top_k is not None else None
+        except (TypeError, ValueError):
+            raise ConfigError(f"top_k must be an integer, got {top_k!r}")
         return cls(
             algorithm=algorithm,
             jobs=int(jobs) if jobs is not None else None,
@@ -73,18 +87,25 @@ class JobConfig:
             time_limit=float(time_limit) if time_limit is not None else None,
             memory_budget=parse_bytes(memory_budget) if memory_budget is not None else None,
             on_limit=on_limit,
+            top_k=top_k,
             extra=tuple(sorted(data.items())),
         )
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-friendly dict; ``from_dict`` of it rebuilds this config."""
         payload: Dict[str, object] = {"algorithm": self.algorithm, "on_limit": self.on_limit}
-        for name in ("jobs", "backend", "time_limit", "memory_budget"):
+        for name in ("jobs", "backend", "time_limit", "memory_budget", "top_k"):
             value = getattr(self, name)
             if value is not None:
                 payload[name] = value
         payload.update(dict(self.extra))
         return payload
+
+    def without_top_k(self) -> "JobConfig":
+        """The matching full-cover config (identity when already full)."""
+        if self.top_k is None:
+            return self
+        return replace(self, top_k=None)
 
     def key(self) -> str:
         """Canonical string identity (the config part of cache keys)."""

@@ -13,8 +13,11 @@ POST     ``/datasets``                   ``{csv | columns+rows, name?,
                                          semantics?}`` → fingerprint
 POST     ``/datasets/<ref>/append``      ``{rows}`` → new fingerprint
 POST     ``/discover``                   ``{dataset, config?, priority?,
-                                         wait?}`` → job (id or full status)
+                                         wait?}`` → job (id or full status);
+                                         ``?top_k=K`` limits the cover to
+                                         the K highest-redundancy FDs
 POST     ``/rank``                       same, plus a ranking in the status
+                                         (``?top_k=K`` bounds the ranking)
 GET      ``/jobs``                       all job statuses (no result bodies)
 GET      ``/jobs/<id>``                  one job status incl. result payload
 POST     ``/jobs/<id>/cancel``           cancel (queued) / request (running)
@@ -31,7 +34,8 @@ from __future__ import annotations
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
 
 from .app import FDService
 from .config import ConfigError
@@ -138,15 +142,17 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             self._send_json({"error": f"no such endpoint: GET {self.path}"}, 404)
 
     def do_POST(self) -> None:  # noqa: N802
-        parts = [p for p in self.path.split("?")[0].split("/") if p]
+        split = urlsplit(self.path)
+        parts = [p for p in split.path.split("/") if p]
+        query = parse_qs(split.query)
         if parts == ["datasets"]:
             self._dispatch(self._post_dataset)
         elif len(parts) == 3 and parts[0] == "datasets" and parts[2] == "append":
             self._dispatch(self._post_append, parts[1])
         elif parts == ["discover"]:
-            self._dispatch(self._post_job, "discover")
+            self._dispatch(self._post_job, "discover", query)
         elif parts == ["rank"]:
-            self._dispatch(self._post_job, "rank")
+            self._dispatch(self._post_job, "rank", query)
         elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "cancel":
             self._dispatch(self._post_cancel, parts[1])
         else:
@@ -204,7 +210,9 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         entry = self.server.service.append_rows(ref, rows)
         self._send_json(entry.describe())
 
-    def _post_job(self, kind: str) -> None:
+    def _post_job(
+        self, kind: str, query: Optional[Dict[str, List[str]]] = None
+    ) -> None:
         body = self._read_body()
         dataset = body.get("dataset")
         if not dataset:
@@ -212,6 +220,15 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         config = body.get("config") or {}
         if "algorithm" in body:
             config.setdefault("algorithm", body["algorithm"])
+        if query and "top_k" in query:
+            # ``?top_k=`` overrides any body-config value: the query
+            # param is the outermost request, proxied verbatim by the
+            # cluster router.
+            raw = query["top_k"][-1]
+            try:
+                config["top_k"] = int(raw)
+            except ValueError:
+                raise BadRequest(f"top_k must be an integer, got {raw!r}") from None
         job = self.server.service.submit(
             dataset, kind, config, priority=int(body.get("priority", 0))
         )

@@ -130,9 +130,18 @@ class ResultStore:
         pairs only — no rediscovery), and stores the repaired cover
         under ``new_fingerprint`` with the same config key.  Returns
         the number of migrated entries.
+
+        Top-k entries are *not* migrated: induction over a k-FD prefix
+        of the cover is unsound (appended rows can promote FDs the
+        prefix never contained into the new top-k), so those entries
+        simply age out with the old fingerprint and the next top-k
+        request recomputes.
         """
         migrated = 0
         for config, result in self.results_for(old_fingerprint):
+            if config.top_k is not None or result.top_k is not None:
+                self._count("service.store.topk_skipped")
+                continue
             start = time.perf_counter()
             maintainer = IncrementalFDMaintainer(
                 old_relation,

@@ -185,6 +185,22 @@ class TestRouting:
         result = ServiceClient.result_from_status(status)
         assert cover_to_json(result.fds, result.schema) == expected
 
+    def test_top_k_query_param_proxied_through_router(self, cluster, client):
+        """The router must forward ``?top_k=`` untouched: dropping the
+        query string would silently serve the full cover."""
+        info = client.upload_rows(COLUMNS, [list(r) for r in ROWS], name="city")
+        full = ServiceClient.result_from_status(
+            client.discover(info["fingerprint"])
+        )
+        topk = ServiceClient.result_from_status(
+            client.discover(info["fingerprint"], top_k=3)
+        )
+        assert topk.top_k == 3
+        assert topk.fd_count == min(3, full.fd_count)
+        ranked = client.rank(info["fingerprint"], top_k=2)
+        assert ranked["status"] == "done"
+        assert len(ranked["ranking"]) == 2
+
     def test_upload_lands_on_hashed_shard(self, cluster, client):
         relation = make_relation()
         shard = shard_for(relation.fingerprint(), 2)
@@ -404,6 +420,61 @@ class TestClientRetries:
         client = ServiceClient("http://127.0.0.1:9", retries=2, backoff=0.0)
         assert client.health() == {"status": "ok"}
         assert calls[1] - calls[0] >= 0.04
+
+    def test_append_never_retries_connection_errors(self, monkeypatch):
+        """Append is not idempotent: a connection reset after delivery
+        is ambiguous, and replaying would apply the rows twice."""
+        calls = []
+
+        def fake_urlopen(request, timeout=None):
+            calls.append(1)
+            raise urllib.error.URLError(ConnectionResetError(104, "reset"))
+
+        monkeypatch.setattr(urllib.request, "urlopen", fake_urlopen)
+        client = ServiceClient("http://127.0.0.1:9", retries=3, backoff=0.01)
+        with pytest.raises(ServiceError) as err:
+            client.append("city", [["gus", "z1", "c9", "nc"]])
+        assert err.value.retryable is True
+        assert calls == [1]
+
+    def test_append_still_retries_503(self, monkeypatch):
+        """A 503 is pre-execution by contract (draining replica refused
+        the job), so retrying an append after one is safe."""
+        calls = []
+
+        def fake_urlopen(request, timeout=None):
+            calls.append(1)
+            if len(calls) == 1:
+                raise urllib.error.HTTPError(
+                    request.full_url,
+                    503,
+                    "draining",
+                    {"Retry-After": "0.01"},
+                    io.BytesIO(b'{"error": "draining"}'),
+                )
+            return self._ok_response({"fingerprint": "fp", "n_rows": 7})
+
+        monkeypatch.setattr(urllib.request, "urlopen", fake_urlopen)
+        client = ServiceClient("http://127.0.0.1:9", retries=2, backoff=0.0)
+        info = client.append("city", [["gus", "z1", "c9", "nc"]])
+        assert info["n_rows"] == 7
+        assert len(calls) == 2
+
+    def test_idempotent_post_still_retries_connection_errors(self, monkeypatch):
+        """Discover/rank submissions stay retryable: they are idempotent
+        by cache key, so a replay cannot corrupt state."""
+        calls = []
+
+        def fake_urlopen(request, timeout=None):
+            calls.append(1)
+            if len(calls) == 1:
+                raise urllib.error.URLError(ConnectionRefusedError(111, "refused"))
+            return self._ok_response({"status": "done", "job_id": "s0:1"})
+
+        monkeypatch.setattr(urllib.request, "urlopen", fake_urlopen)
+        client = ServiceClient("http://127.0.0.1:9", retries=2, backoff=0.01)
+        assert client.discover("city")["status"] == "done"
+        assert len(calls) == 2
 
     def test_zero_retries_disables_looping(self, monkeypatch):
         calls = []

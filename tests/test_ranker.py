@@ -99,3 +99,24 @@ class TestHistogram:
         buckets = redundancy_histogram([0, 0, 0])
         assert buckets[0] == (0, 3)
         assert sum(c for _, c in buckets[1:]) == 0
+
+    def test_no_duplicate_thresholds_when_max_small(self):
+        """Fractions of a small max collapse to the same integer
+        threshold; duplicates must merge instead of repeating
+        ``(threshold, 0)`` buckets (Fig. 10 has distinct x positions)."""
+        buckets = redundancy_histogram([0, 1, 2], fractions=[0.0, 0.1, 0.2, 1.0])
+        thresholds = [threshold for threshold, _ in buckets]
+        assert thresholds == sorted(set(thresholds))
+        assert sum(count for _, count in buckets) == 3
+
+    def test_all_zero_collapses_to_single_bucket(self):
+        assert redundancy_histogram([0, 0, 0, 0]) == [(0, 4)]
+
+    def test_empty_collapses_to_single_bucket(self):
+        assert redundancy_histogram([]) == [(0, 0)]
+
+    def test_max_one_merges_to_two_buckets(self):
+        # max = 1: every fractional threshold is 0 or 1; counts land in
+        # exactly two merged buckets covering all FDs.
+        buckets = redundancy_histogram([0, 1, 1])
+        assert buckets == [(0, 1), (1, 2)]

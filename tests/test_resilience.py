@@ -557,7 +557,7 @@ class TestProfilePartial:
     def test_ranking_timeout_skips_under_partial(self, monkeypatch, city_relation):
         from repro.profiling import profiler
 
-        def exploding_rank(relation, cover, deadline=None):
+        def exploding_rank(relation, cover, deadline=None, top_k=None):
             raise TimeLimitExceeded("ranking", 0.0)
 
         monkeypatch.setattr(profiler, "rank_cover", exploding_rank)
@@ -573,7 +573,7 @@ class TestProfilePartial:
     ):
         from repro.profiling import profiler
 
-        def exploding_rank(relation, cover, deadline=None):
+        def exploding_rank(relation, cover, deadline=None, top_k=None):
             raise TimeLimitExceeded("ranking", 0.0)
 
         monkeypatch.setattr(profiler, "rank_cover", exploding_rank)

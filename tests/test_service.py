@@ -117,6 +117,23 @@ class TestJobConfig:
         partial = JobConfig.from_dict({"on_limit": "partial"})
         assert partial.algorithm_kwargs()["on_limit"] == "partial"
 
+    def test_top_k_is_part_of_the_cache_key(self):
+        base = JobConfig.from_dict({})
+        topk = JobConfig.from_dict({"top_k": 5})
+        assert base.key() != topk.key()
+        assert topk.without_top_k().key() == base.key()
+        assert JobConfig.from_dict(topk.to_dict()).key() == topk.key()
+
+    def test_top_k_not_forwarded_to_constructors(self):
+        # discover_top_k(k) is a call-time argument, never a kwarg.
+        assert "top_k" not in JobConfig.from_dict({"top_k": 3}).algorithm_kwargs()
+
+    def test_invalid_top_k_rejected(self):
+        with pytest.raises(ConfigError):
+            JobConfig.from_dict({"top_k": 0})
+        with pytest.raises(ConfigError):
+            JobConfig.from_dict({"top_k": "many"})
+
 
 # ----------------------------------------------------------------------
 # DatasetRegistry (through the service facade)
@@ -267,6 +284,78 @@ class TestAppendMigration:
         assert cover_to_json(job.result.fds, city_relation.schema) == direct_cover_json(
             city_relation
         )
+
+
+# ----------------------------------------------------------------------
+# Top-k store-key semantics
+# ----------------------------------------------------------------------
+
+
+class TestTopKService:
+    """Cache-key contract: a top-k result is never served as a full
+    cover, while a cached full cover answers top-k requests via a
+    cheap bounded ranking (no new discovery run)."""
+
+    def test_top_k_derived_from_cached_full_cover(self, service, city_relation):
+        service.register_relation(city_relation, name="city")
+        full = service.discover("city")
+        job = service.discover("city", config={"top_k": 2})
+        assert job.status == "done" and job.cached
+        assert job.result.top_k == 2
+        assert job.result.fd_count == min(2, full.result.fd_count)
+        counters = service.metrics_payload()["counters"]
+        assert counters["service.jobs.topk_derived"] == 1
+        assert counters["service.discovery.runs"] == 1
+
+    def test_top_k_never_served_as_full_cover(self, service, city_relation):
+        service.register_relation(city_relation, name="city")
+        topk = service.discover("city", config={"top_k": 1})
+        assert not topk.cached
+        assert topk.result.top_k == 1
+        full = service.discover("city")
+        # The cached k-prefix must not shadow the full cover: this is a
+        # genuine second discovery run, and it returns everything.
+        assert not full.cached
+        assert full.result.top_k is None
+        assert full.result.fd_count >= topk.result.fd_count
+        assert service.metrics_payload()["counters"]["service.discovery.runs"] == 2
+
+    def test_fresh_top_k_uses_rank_aware_discovery(self, service):
+        relation = make_random_relation(3)
+        service.register_relation(relation, name="rand")
+        job = service.discover("rand", config={"top_k": 2})
+        assert not job.cached
+        assert job.result.top_k == 2
+        counters = service.metrics_payload()["counters"]
+        assert counters["service.discovery.runs"] == 1
+        assert counters.get("service.jobs.topk_derived", 0) == 0
+
+    def test_append_skips_top_k_entries(self, service, city_relation):
+        service.register_relation(city_relation, name="city")
+        service.discover("city", config={"top_k": 2})
+        service.discover("city")
+        new_entry = service.append_rows("city", [("gus", "z1", "c9", "nc")])
+        counters = service.metrics_payload()["counters"]
+        # Only the full cover is migrated by synergized induction —
+        # inducting over a k-prefix would be unsound.
+        assert counters["service.store.incremental_updates"] == 1
+        assert counters["service.store.topk_skipped"] == 1
+        # The new version still answers top-k cheaply: derived from the
+        # migrated full cover, no discovery re-run.
+        job = service.discover(new_entry.fingerprint, config={"top_k": 2})
+        assert job.cached
+        assert job.result.top_k == 2
+        counters = service.metrics_payload()["counters"]
+        assert counters["service.discovery.runs"] == 2
+        assert counters["service.jobs.topk_derived"] == 1
+
+    def test_rank_job_honors_top_k(self, service, city_relation):
+        service.register_relation(city_relation, name="city")
+        full = service.rank("city")
+        job = service.rank("city", config={"top_k": 2})
+        assert job.status == "done"
+        assert len(job.ranking) == min(2, len(full.ranking))
+        assert job.ranking == full.ranking[: len(job.ranking)]
 
 
 # ----------------------------------------------------------------------
@@ -478,6 +567,35 @@ class TestHTTPService:
         status = client.rank(info["fingerprint"])
         assert status["status"] == "done"
         assert status["ranking"]
+
+    def test_top_k_query_param_over_http(self, http_service, city_relation):
+        _, client = http_service
+        client.upload_csv(CITY_CSV, name="city")
+        full = ServiceClient.result_from_status(client.discover("city"))
+        status = client.discover("city", top_k=2)
+        result = ServiceClient.result_from_status(status)
+        assert result.top_k == 2
+        assert result.fd_count == min(2, full.fd_count)
+        counters = client.metrics()["counters"]
+        # Served from the cached full cover, not a second discovery.
+        assert counters["service.jobs.topk_derived"] == 1
+        assert counters["service.discovery.runs"] == 1
+
+    def test_rank_top_k_over_http(self, http_service):
+        _, client = http_service
+        info = client.upload_csv(CITY_CSV)
+        full = client.rank(info["fingerprint"])
+        status = client.rank(info["fingerprint"], top_k=2)
+        assert status["status"] == "done"
+        assert len(status["ranking"]) == min(2, len(full["ranking"]))
+        assert status["ranking"] == full["ranking"][: len(status["ranking"])]
+
+    def test_bad_top_k_query_400(self, http_service):
+        _, client = http_service
+        client.upload_csv(CITY_CSV, name="city")
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("POST", "/discover?top_k=zero", {"dataset": "city"})
+        assert excinfo.value.status == 400
 
     def test_unknown_dataset_404(self, http_service):
         _, client = http_service
