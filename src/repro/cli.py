@@ -16,9 +16,11 @@ from __future__ import annotations
 
 import argparse
 import contextlib
+import os
 import sys
 from typing import List, Optional
 
+from . import memplane
 from .algorithms.registry import algorithm_names, make_algorithm
 from .bench.tables import format_table
 from .covers.canonical import compare_covers
@@ -58,6 +60,7 @@ def _load_input(args: argparse.Namespace) -> Relation:
     jobs = getattr(args, "jobs", None)
     if jobs is not None:
         parallel.set_default_jobs(jobs)
+    _apply_memplane_flag(args)
     semantics = NullSemantics.parse(args.null_semantics)
     if args.csv:
         return read_csv(
@@ -118,6 +121,27 @@ def _add_input_args(parser: argparse.ArgumentParser) -> None:
         help="ragged/undecodable CSV rows: raise (default), skip "
         "(quarantine), or pad with nulls",
     )
+    _add_memplane_arg(parser)
+
+
+def _add_memplane_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--no-memplane",
+        action="store_true",
+        help="disable the shared dataset arena / partition tier "
+        "(private per-run copies, as before; also $REPRO_FD_MEMPLANE=0)",
+    )
+
+
+def _apply_memplane_flag(args: argparse.Namespace) -> None:
+    """Honor --no-memplane: this process and every child it spawns.
+
+    The environment export is what reaches worker pools started with
+    the spawn method and the replicas a cluster manager forks.
+    """
+    if getattr(args, "no_memplane", False):
+        memplane.set_enabled(False)
+        os.environ[memplane.ENV_MEMPLANE] = "0"
 
 
 def _parse_bytes_arg(value: str) -> int:
@@ -375,6 +399,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .service import FDService
     from .service.server import make_server
 
+    _apply_memplane_flag(args)
     service = FDService(
         max_workers=args.max_workers,
         store_dir=args.store_dir,
@@ -418,6 +443,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 flush=True,
             )
         service.close()
+        # Unlink this replica's arena segments now rather than at
+        # atexit — the manager's orphan sweep then only ever has
+        # SIGKILL leftovers to deal with.
+        memplane.reset_arena()
     return 0
 
 
@@ -427,6 +456,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
 
     from .cluster import Cluster
 
+    _apply_memplane_flag(args)
     cluster = Cluster(
         replicas=args.replicas,
         data_dir=args.data_dir,
@@ -671,6 +701,7 @@ def build_parser() -> argparse.ArgumentParser:
         "for up to this long before exiting (graceful drain)",
     )
     serve.add_argument("--verbose", action="store_true", help="log every request")
+    _add_memplane_arg(serve)
     serve.set_defaults(handler=_cmd_serve)
 
     cluster = sub.add_parser(
@@ -711,6 +742,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="graceful-drain window per replica on stop/restart",
     )
     cluster.add_argument("--verbose", action="store_true", help="log every request")
+    _add_memplane_arg(cluster)
     cluster.set_defaults(handler=_cmd_cluster)
 
     submit = sub.add_parser(

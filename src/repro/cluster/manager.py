@@ -23,6 +23,7 @@ owning one shard of the dataset space (the router decides which — see
 from __future__ import annotations
 
 import json
+import os
 import signal
 import subprocess
 import sys
@@ -31,6 +32,8 @@ import time
 import urllib.request
 from pathlib import Path
 from typing import Dict, List, Optional, Union
+
+from ..memplane import arena as _arena
 
 #: Replica lifecycle states (mirrored into ``replicas.json``).
 STARTING = "starting"
@@ -61,6 +64,16 @@ class ReplicaHandle:
     @property
     def name(self) -> str:
         return f"replica-{self.shard}"
+
+    @property
+    def arena_owner(self) -> str:
+        """Segment-owner token this replica's arena stamps on /dev/shm.
+
+        Keyed by the manager pid plus the shard, so the manager can
+        sweep a SIGKILLed replica's leftovers without ever touching
+        segments of other clusters (or other shards) on the host.
+        """
+        return f"r{os.getpid()}s{self.shard}"
 
     @property
     def pid(self) -> Optional[int]:
@@ -162,6 +175,9 @@ class ReplicaManager:
                 proc.kill()
                 proc.wait(timeout=5.0)
             handle.state = STOPPED
+            # A drained replica unlinked its own segments; one that had
+            # to be killed did not — sweep either way (idempotent).
+            _arena.sweep_orphans(handle.arena_owner)
         self._write_table()
 
     def __enter__(self) -> "ReplicaManager":
@@ -227,11 +243,14 @@ class ReplicaManager:
         handle.url = None
         handle.probe_failures = 0
         handle.tail = []
+        env = dict(os.environ)
+        env[_arena.ENV_ARENA_OWNER] = handle.arena_owner
         proc = subprocess.Popen(
             self._replica_args(handle),
             stdout=subprocess.PIPE,
             stderr=subprocess.STDOUT,
             text=True,
+            env=env,
         )
         handle.proc = proc
         url: Optional[str] = None
@@ -325,6 +344,10 @@ class ReplicaManager:
         handle.restarts += 1
         # Small linear backoff so a crash-looping replica cannot spin.
         time.sleep(min(0.2 * handle.restarts, 2.0))
+        # The dead replica never ran its atexit unlink (SIGKILL / hard
+        # crash): reap its arena segments before the successor — which
+        # reuses the owner token — recreates them.
+        _arena.sweep_orphans(handle.arena_owner)
         try:
             self._spawn(handle)
         except ReplicaStartupError:

@@ -28,6 +28,8 @@ from typing import List, Optional, Set, Tuple
 
 from ..fdtree.extended import ExtendedFDTree, ExtFDNode
 from ..fdtree.induction import synergized_induct
+from ..memplane import tier_for
+from ..memplane.arena import current_arena
 from ..parallel import ParallelExecutor, PoolBrokenError, resolve_jobs
 from ..parallel import config as parallel_config
 from ..parallel import merge_validation_outcomes
@@ -60,6 +62,12 @@ class _DegradationState:
         """Pin the ratio decision to "don't spend"; frees nothing itself."""
         self.no_refine = True
         return 0
+
+
+def _shed_arena() -> int:
+    """Ladder rung: evict the dataset arena's unpinned entries."""
+    arena = current_arena()
+    return arena.shed() if arena is not None else 0
 
 
 class DHyFD(DiscoveryAlgorithm):
@@ -193,7 +201,11 @@ class DHyFD(DiscoveryAlgorithm):
         # descendant FD has a superset LHS, hence a no-larger
         # redundancy) can reach the threshold.
         measure_cache = (
-            PartitionCache(relation, backend=self.backend)
+            PartitionCache(
+                relation,
+                backend=self.backend,
+                shared=tier_for(relation, self.backend),
+            )
             if tracker is not None
             else None
         )
@@ -252,6 +264,10 @@ class DHyFD(DiscoveryAlgorithm):
                     "shrink_worker_pool",
                     (lambda: executor.disable()) if executor is not None else (lambda: 0),
                 )
+                # Last resort before aborting: give back the host-wide
+                # arena's unpinned datasets (this run's own lease stays
+                # pinned, so its shared view survives the shed).
+                sentinel.add_stage("evict_arena_datasets", _shed_arena)
 
         # --- one-shot sampling plus root validation (Alg. 6 lines 5-6)
         violations: Set[AttrSet] = set()

@@ -350,6 +350,11 @@ class ParallelExecutor:
         collect: bool,
     ) -> list:
         """One full dispatch attempt; telemetry replays only on success."""
+        # Leak-regression hook: an armed ``pool.broken`` fault fails the
+        # attempt exactly like a pool-level crash, driving the retry →
+        # mark-broken → shutdown path that must release the shared
+        # buffers (lease or private segments) without orphans.
+        faults.fire("pool.broken")
         self._ensure_pool()
         batches = chunk_items(items, self.jobs, batch_size, batches_per_worker)
         futures = [

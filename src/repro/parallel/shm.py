@@ -19,19 +19,25 @@ compute paths use — ``matrix()``, ``codes(attr)``, ``null_mask(attr)``,
 functions (``validate_fd``, ``redundant_rows_for_lhs``, the sampling
 helpers) the serial path runs, keeping results byte-identical.
 
-Lifecycle: the parent owns both segments and unlinks them in
-:meth:`SharedRelationBuffers.close` (worker mappings stay valid until
-the worker exits, per POSIX semantics).  Workers ``close()`` their
-attachment at interpreter exit; they also unregister the segments from
-their ``resource_tracker`` so a worker's exit does not unlink memory
-the parent still owns.
+Lifecycle: with the memplane enabled (the default) the buffers are a
+refcounted *lease* on the host-wide
+:class:`~repro.memplane.arena.DatasetArena` — the copy-in happens at
+most once per dataset per host, repeated jobs attach to the pinned
+segments, and :meth:`SharedRelationBuffers.close` releases the lease
+(the arena unlinks under its own budget/LRU policy).  With the
+memplane disabled (``--no-memplane`` / ``REPRO_FD_MEMPLANE=0``) the
+parent owns both segments privately and unlinks them in ``close``
+(worker mappings stay valid until the worker exits, per POSIX
+semantics).  Workers ``close()`` their attachment at interpreter exit;
+they also unregister the segments from their ``resource_tracker`` so a
+worker's exit does not unlink memory the parent still owns.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from multiprocessing import shared_memory
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -48,6 +54,26 @@ class ShmSpec:
     n_cols: int
 
 
+def relation_arrays(relation) -> Tuple[np.ndarray, np.ndarray]:
+    """The two contiguous arrays every shared consumer needs.
+
+    Returns the row-major int64 DIIS code matrix and the matching
+    ``(n_rows, n_cols)`` boolean null-marker matrix.  Shared between
+    the per-run buffers below and the host-wide
+    :class:`~repro.memplane.arena.DatasetArena` so both layouts are
+    bit-identical and a view over either is interchangeable.
+    """
+    n_rows, n_cols = relation.n_rows, relation.n_cols
+    matrix = np.ascontiguousarray(relation.matrix(), dtype=np.int64)
+    if n_cols and n_rows:
+        nulls = np.column_stack(
+            [relation.null_mask(attr) for attr in range(n_cols)]
+        ).astype(bool, copy=False)
+    else:
+        nulls = np.zeros((n_rows, n_cols), dtype=bool)
+    return matrix, np.ascontiguousarray(nulls)
+
+
 def _copy_into_shm(array: np.ndarray) -> shared_memory.SharedMemory:
     """Allocate a shared segment and copy ``array`` into it."""
     shm = shared_memory.SharedMemory(create=True, size=max(1, array.nbytes))
@@ -57,30 +83,67 @@ def _copy_into_shm(array: np.ndarray) -> shared_memory.SharedMemory:
     return shm
 
 
+def _arena_lease(relation):
+    """Best-effort lease from the host-wide dataset arena.
+
+    Returns None — and the caller falls back to a private per-run copy
+    — when the memplane is disabled, the relation has no fingerprint
+    (worker-side views), or the arena attach fails for any reason
+    (including an armed ``arena.attach`` fault).
+    """
+    try:
+        from ..memplane import arena
+    except Exception:
+        return None
+    if not arena.enabled():
+        return None
+    try:
+        return arena.get_arena().lease(relation)
+    except Exception:
+        return None
+
+
 class SharedRelationBuffers:
-    """Parent-side owner of the shared code and null-mask matrices."""
+    """Parent-side owner of the shared code and null-mask matrices.
+
+    When the memplane is enabled the "buffers" are a leased view over
+    the host-wide :class:`~repro.memplane.arena.DatasetArena` — no
+    per-run copy-in, and :meth:`close` releases the lease instead of
+    unlinking (the arena owns the segments).  Otherwise the original
+    behavior: copy once, unlink on close.
+    """
 
     def __init__(self, relation):
-        n_rows, n_cols = relation.n_rows, relation.n_cols
-        matrix = np.ascontiguousarray(relation.matrix(), dtype=np.int64)
-        if n_cols and n_rows:
-            nulls = np.column_stack(
-                [relation.null_mask(attr) for attr in range(n_cols)]
-            ).astype(bool, copy=False)
-        else:
-            nulls = np.zeros((n_rows, n_cols), dtype=bool)
+        self._lease = None
+        self._matrix_shm = None
+        self._nulls_shm = None
+        lease = _arena_lease(relation)
+        if lease is not None:
+            self._lease = lease
+            self.nbytes = lease.nbytes
+            self.spec = lease.spec
+            return
+        matrix, nulls = relation_arrays(relation)
         self._matrix_shm = _copy_into_shm(matrix)
-        self._nulls_shm = _copy_into_shm(np.ascontiguousarray(nulls))
+        self._nulls_shm = _copy_into_shm(nulls)
         self.nbytes = matrix.nbytes + nulls.nbytes
         self.spec = ShmSpec(
             matrix_name=self._matrix_shm.name,
             nulls_name=self._nulls_shm.name,
-            n_rows=n_rows,
-            n_cols=n_cols,
+            n_rows=relation.n_rows,
+            n_cols=relation.n_cols,
         )
 
+    @property
+    def arena_backed(self) -> bool:
+        """True while these buffers are a lease on the dataset arena."""
+        return self._lease is not None
+
     def close(self) -> None:
-        """Release and unlink both segments (idempotent)."""
+        """Release the lease / unlink the private segments (idempotent)."""
+        if self._lease is not None:
+            lease, self._lease = self._lease, None
+            lease.release()
         for shm in (self._matrix_shm, self._nulls_shm):
             if shm is None:
                 continue

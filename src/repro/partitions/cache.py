@@ -25,21 +25,39 @@ SUBSET_SCAN_LIMIT = 4096
 
 
 class PartitionCache:
-    """Memoized stripped-partition store for one relation."""
+    """Memoized stripped-partition store for one relation.
 
-    def __init__(self, relation: Relation, backend: Optional[str] = None):
+    ``shared`` optionally plugs in a
+    :class:`~repro.memplane.tier.SharedPartitionTier`: singleton seeds
+    come from the tier when warm, local misses consult it before
+    deriving, and freshly derived low-level partitions are published
+    back — so repeated passes over the same dataset stop re-deriving
+    the lattice base.  ``hits``/``misses`` keep their original meaning
+    (local store only); tier hits are counted in ``shared_hits`` on
+    top of the local miss.
+    """
+
+    def __init__(
+        self,
+        relation: Relation,
+        backend: Optional[str] = None,
+        shared=None,
+    ):
         self.relation = relation
         self.backend = backend
+        self.shared = shared
         self._store: Dict[AttrSet, StrippedPartition] = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.shared_hits = 0
         # Instruments resolved once against the tracer current at
         # construction; with telemetry off these are shared no-ops.
         telemetry = current_tracer()
         self._hit_counter = telemetry.counter("partition_cache.hits")
         self._miss_counter = telemetry.counter("partition_cache.misses")
         self._evict_counter = telemetry.counter("partition_cache.evictions")
+        self._shared_hit_counter = telemetry.counter("partition_cache.shared_hits")
         self._memory_gauge = telemetry.gauge("partition_cache.memory_bytes")
         self._seed_singletons()
 
@@ -47,9 +65,20 @@ class PartitionCache:
         universal = StrippedPartition.universal(self.relation)
         self._store[attrset.EMPTY] = universal
         for attr in range(self.relation.n_cols):
-            self._store[attrset.singleton(attr)] = StrippedPartition.for_attribute(
-                self.relation, attr, backend=self.backend
-            )
+            mask = attrset.singleton(attr)
+            partition = None
+            if self.shared is not None:
+                partition = self.shared.get(mask)
+                if partition is not None:
+                    self.shared_hits += 1
+                    self._shared_hit_counter.inc()
+            if partition is None:
+                partition = StrippedPartition.for_attribute(
+                    self.relation, attr, backend=self.backend
+                )
+                if self.shared is not None:
+                    self.shared.put(partition)
+            self._store[mask] = partition
 
     def __len__(self) -> int:
         return len(self._store)
@@ -76,6 +105,7 @@ class PartitionCache:
             hits=self.hits,
             misses=self.misses,
             evictions=self.evictions,
+            shared_hits=self.shared_hits,
             entries=len(self._store),
             memory_bytes=memory,
         )
@@ -93,6 +123,13 @@ class PartitionCache:
             return cached
         self.misses += 1
         self._miss_counter.inc()
+        if self.shared is not None:
+            partition = self.shared.get(attrs)
+            if partition is not None:
+                self.shared_hits += 1
+                self._shared_hit_counter.inc()
+                self._store[attrs] = partition
+                return partition
         base = self._best_subset(attrs)
         partition = base.refine_many(
             self.relation,
@@ -100,6 +137,8 @@ class PartitionCache:
             backend=self.backend,
         )
         self._store[attrs] = partition
+        if self.shared is not None:
+            self.shared.put(partition)
         return partition
 
     def put(self, partition: StrippedPartition) -> None:

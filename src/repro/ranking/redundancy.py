@@ -25,6 +25,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..memplane import tier_for
 from ..partitions import kernels
 from ..partitions.cache import PartitionCache
 from ..partitions.stripped import StrippedPartition
@@ -200,7 +201,7 @@ def redundancy_positions(
     driver's time limit also bounds the ranking pass.
     """
     if cache is None:
-        cache = PartitionCache(relation)
+        cache = PartitionCache(relation, shared=tier_for(relation))
     marked = np.zeros((relation.n_rows, relation.n_cols), dtype=bool)
     fds = list(cover)
     unique_lhs = list(dict.fromkeys(fd.lhs for fd in fds))
@@ -254,7 +255,7 @@ def dataset_redundancy(
     """Compute #values / #red / #red+0 for a relation and cover (timed)."""
     start = time.perf_counter()
     with current_tracer().span("redundancy", fds=len(cover)):
-        cache = PartitionCache(relation)
+        cache = PartitionCache(relation, shared=tier_for(relation))
         including = redundancy_positions(
             relation, cover, NullPolicy.INCLUDE, cache, jobs=jobs,
             deadline=deadline,

@@ -35,6 +35,9 @@ ENV_MEMORY_BUDGET = "REPRO_FD_MEMORY_BUDGET"
 #: Default process-RSS ceiling (same syntax).
 ENV_RSS_LIMIT = "REPRO_FD_RSS_LIMIT"
 
+#: Byte budget for the host-wide dataset arena (see :mod:`repro.memplane`).
+ENV_ARENA_BUDGET = "REPRO_FD_ARENA_BUDGET"
+
 _UNITS = {
     "": 1,
     "b": 1,
@@ -65,6 +68,19 @@ def parse_bytes(value: Union[int, str]) -> int:
     if result <= 0:
         raise ValueError(f"byte budget must be positive, got {value!r}")
     return result
+
+
+def arena_budget_from_env() -> Optional[int]:
+    """The dataset-arena byte budget from ``REPRO_FD_ARENA_BUDGET``.
+
+    Returns None (unlimited) when unset; malformed values raise the
+    same :class:`ValueError` as :func:`parse_bytes` so a bad deployment
+    fails loudly at arena construction, not mid-eviction.
+    """
+    raw = os.environ.get(ENV_ARENA_BUDGET)
+    if raw is None or not raw.strip():
+        return None
+    return parse_bytes(raw)
 
 
 class BudgetExceeded(Exception):

@@ -17,6 +17,8 @@ Fault points
 ``csv.corrupt_row``        a CSV record loses its last field while parsed
 ``ddm.stale``              a dynamic DDM lookup is forced stale
 ``limit.deadline``         a deadline poll trips deterministically
+``pool.broken``            the process pool reports itself broken mid-run
+``arena.attach``           attaching a dataset-arena segment fails
 ====================== ====================================================
 
 Arming
@@ -63,6 +65,8 @@ FAULT_POINTS = frozenset(
         "csv.corrupt_row",
         "ddm.stale",
         "limit.deadline",
+        "pool.broken",
+        "arena.attach",
     }
 )
 

@@ -30,7 +30,7 @@ import time
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
-from .. import __version__
+from .. import __version__, memplane
 from ..algorithms.registry import make_algorithm
 from ..core.result import DiscoveryResult, DiscoveryStats
 from ..covers.canonical import canonical_cover
@@ -291,9 +291,11 @@ class FDService:
                 name: counter.value
                 for name, counter in sorted(self.metrics.counters.items())
             }
+        gauges = dict(self.scheduler.gauges())
+        gauges.update(memplane.gauges())
         return {
             "counters": counters,
-            "gauges": self.scheduler.gauges(),
+            "gauges": gauges,
             "store": self.store.counters(),
             "scheduler": self.scheduler.counters(),
         }

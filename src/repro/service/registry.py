@@ -107,6 +107,7 @@ class DatasetRegistry:
                 self._by_fingerprint[fingerprint] = entry
                 self._count("service.registry.registered")
                 self._persist(entry)
+                self._arena_ingest(relation)
             else:
                 self._count("service.registry.duplicate_uploads")
                 if name and not entry.name:
@@ -154,6 +155,7 @@ class DatasetRegistry:
                 self._by_fingerprint[entry.fingerprint] = entry
                 self._count("service.registry.appends")
                 self._persist(entry)
+                self._arena_ingest(new_relation, parent=old.fingerprint)
             if old.name:
                 self._by_name[old.name] = entry.fingerprint
         if self._store is not None and rows:
@@ -161,6 +163,26 @@ class DatasetRegistry:
                 old.fingerprint, old.relation, rows, entry.fingerprint
             )
         return entry
+
+    def _arena_ingest(self, relation: Relation, parent: Optional[str] = None) -> None:
+        """Materialize a registered dataset in the memplane (best-effort).
+
+        Registration is the natural ingest point: every later job on
+        this replica — and every worker pool it spawns — attaches to
+        the one arena copy instead of paying per-job copy-in.  Appends
+        pass their parent so both versions can share one segment.  Any
+        arena failure is swallowed: the registry must work with the
+        memplane off or broken.
+        """
+        try:
+            from ..memplane import arena
+
+            if not arena.enabled():
+                return
+            if arena.get_arena().ingest(relation, parent_fingerprint=parent):
+                self._count("service.registry.arena_ingests")
+        except Exception:
+            self._count("service.registry.arena_errors")
 
     def list(self) -> List[Dict[str, object]]:
         """Summaries of every registered dataset version."""

@@ -6,6 +6,7 @@ import random
 
 import pytest
 
+from repro import memplane
 from repro.datasets.synthetic import random_relation
 from repro.relational.null import NULL, NullSemantics
 from repro.relational.relation import Relation
@@ -33,6 +34,20 @@ def make_random_relation(seed: int, semantics=NullSemantics.EQ) -> Relation:
         seed=seed,
         semantics=semantics,
     )
+
+
+@pytest.fixture(autouse=True)
+def _memplane_isolation():
+    """Drop shared partition tiers between tests.
+
+    Fixture relations are seeded, so the same content fingerprint
+    recurs across tests — without this, one test's warm tier changes
+    another test's kernel-call and cache-counter observations.  The
+    arena is left alone: leases are scoped to executors and identical
+    bytes are identical bytes.
+    """
+    yield
+    memplane.reset_tiers()
 
 
 @pytest.fixture

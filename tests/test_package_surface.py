@@ -22,6 +22,7 @@ class TestExports:
             "repro.ranking", "repro.datasets", "repro.normalize",
             "repro.incremental", "repro.ucc", "repro.profiling",
             "repro.bench", "repro.cli", "repro.service", "repro.cluster",
+            "repro.memplane",
         ]:
             importlib.import_module(module)
 

@@ -418,6 +418,7 @@ class TestDegradation:
             "evict_refined_partitions",
             "disable_refinement",
             "shrink_worker_pool",
+            "evict_arena_datasets",
         ]
 
     def test_half_peak_budget_byte_identical_cover(self, monkeypatch):
