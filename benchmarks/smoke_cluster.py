@@ -11,7 +11,12 @@ subprocess, then checks the full acceptance story over plain HTTP:
 * killing one replica degrades only that shard — the surviving shard
   keeps serving, the dead shard answers 503 + Retry-After (no hangs) —
   and the manager restarts the replica, which reloads its persisted
-  datasets and covers and serves the cached result.
+  datasets and covers and serves the cached result;
+* SIGKILLing a replica *mid-discovery* loses nothing: the respawned
+  replica replays its job journal (``--recover``), resumes the job
+  from its last checkpoint, and the client's poll loop — which never
+  sees a 404 — lands on a cover byte-identical to a direct run
+  (docs/durability.md).
 
 Run directly (CI runs this as a dedicated leg)::
 
@@ -22,26 +27,38 @@ from __future__ import annotations
 
 import json
 import os
+import pathlib
 import signal
+import struct
 import subprocess
 import sys
 import tempfile
 import time
 import urllib.request
+import zlib
 
 from repro.algorithms.registry import make_algorithm
 from repro.cluster import shard_for
 from repro.datasets import load_benchmark
+from repro.datasets.synthetic import random_relation
 from repro.relational.fd_io import cover_to_json
 from repro.service import ServiceClient, ServiceError
 
 BENCHMARK = "iris"
 CONFIG = {"algorithm": "dhyfd"}
+#: Deliberately slow configuration for the kill-mid-job scenario: the
+#: serial python kernels give the run a multi-second lattice walk, so
+#: there is a wide window to SIGKILL the replica between checkpoints.
+SLOW_CONFIG = {"algorithm": "dhyfd", "backend": "python", "jobs": 1}
 REPLICAS = 2
 
 
 def boot_cluster(data_dir: str):
     """Start ``repro cluster --router-port 0`` and parse the bound URL."""
+    env = dict(os.environ)
+    # Checkpoint at every level boundary so a mid-job SIGKILL always
+    # has a recent snapshot to resume from.
+    env["REPRO_FD_CHECKPOINT_INTERVAL"] = "0"
     proc = subprocess.Popen(
         [
             sys.executable,
@@ -60,6 +77,7 @@ def boot_cluster(data_dir: str):
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
         text=True,
+        env=env,
     )
     deadline = time.monotonic() + 90.0
     while time.monotonic() < deadline:
@@ -89,6 +107,113 @@ def datasets_per_shard():
 def cluster_info(url: str) -> dict:
     with urllib.request.urlopen(url + "/cluster", timeout=10.0) as response:
         return json.loads(response.read().decode("utf-8"))
+
+
+def wal_checkpointed_jobs(path: pathlib.Path) -> set:
+    """Job ids with a checkpoint frame in a replica's ``jobs.wal``.
+
+    Read-only frame walk (crc32 + length header, see
+    repro/service/journal.py) that simply stops at any torn tail — the
+    replica is appending to this file while we poll it.
+    """
+    try:
+        raw = path.read_bytes()
+    except OSError:
+        return set()
+    jobs = set()
+    offset = 0
+    while offset + 8 <= len(raw):
+        crc, length = struct.unpack_from("<II", raw, offset)
+        start = offset + 8
+        end = start + length
+        if end > len(raw):
+            break
+        payload = raw[start:end]
+        if zlib.crc32(payload) != crc:
+            break
+        record = json.loads(payload.decode("utf-8"))
+        if record.get("type") == "checkpoint":
+            jobs.add(record.get("job_id"))
+        offset = end
+    return jobs
+
+
+def kill_mid_job_scenario(url: str, data_dir: str, client: ServiceClient) -> None:
+    """SIGKILL a replica mid-discovery; the job must still finish.
+
+    The acceptance bar of the durable job plane: after the crash the
+    same job id keeps resolving (never a 404), the respawned replica
+    resumes from the journaled checkpoint (skipping completed levels),
+    and the final cover is byte-identical to a direct run.
+    """
+    relation = random_relation(
+        2000, 14, domain_sizes=[3] * 14, null_rate=0.0, seed=5
+    )
+    expected = cover_to_json(
+        make_algorithm("dhyfd").discover(relation).fds, relation.schema
+    )
+    info = client.upload_rows(
+        relation.schema.names, list(relation.iter_rows()), name="slow-kill"
+    )
+    fingerprint = info["fingerprint"]
+    shard = shard_for(fingerprint, REPLICAS)
+    wal = pathlib.Path(data_dir) / f"replica-{shard}" / "store" / "jobs.wal"
+
+    job_id = client.submit(fingerprint, config=dict(SLOW_CONFIG))
+    local_id = job_id.split(":", 1)[1]
+
+    # Wait until the running job has journaled at least one checkpoint,
+    # then pull the plug on its replica.
+    deadline = time.monotonic() + 60.0
+    while time.monotonic() < deadline:
+        if local_id in wal_checkpointed_jobs(wal):
+            break
+        time.sleep(0.05)
+    else:
+        raise SystemExit(f"no checkpoint for {local_id} appeared in {wal}")
+    status = client.status(job_id)
+    assert status["status"] in ("queued", "running"), (
+        f"job finished before the kill ({status['status']}) — "
+        "SLOW_CONFIG is not slow enough for this host"
+    )
+    victim = next(r for r in cluster_info(url)["replicas"] if r["shard"] == shard)
+    os.kill(victim["pid"], signal.SIGKILL)
+    print(f"killed shard {shard} replica (pid {victim['pid']}) mid-job {job_id}")
+
+    # Poll the job id through the router.  503s while the shard is
+    # down are expected; a 404 means the job plane lost the job.
+    poller = ServiceClient(url, timeout=30.0, retries=0)
+    deadline = time.monotonic() + 120.0
+    while time.monotonic() < deadline:
+        try:
+            status = poller.status(job_id)
+        except ServiceError as exc:
+            assert exc.status != 404, (
+                f"{job_id} 404ed after the crash — recovery lost the job"
+            )
+            time.sleep(0.3)
+            continue
+        if status["status"] in ("done", "failed", "cancelled", "lost"):
+            break
+        time.sleep(0.2)
+    else:
+        raise SystemExit(f"{job_id} did not finish within 120s of the kill")
+
+    assert status["status"] == "done", status
+    assert status.get("recovered") is True, "job not rebuilt from the journal"
+    assert status.get("resumed") is True, "job restarted cold, not resumed"
+    result = ServiceClient.result_from_status(status)
+    resumed_levels = status["result"]["stats"]["resumed_levels"]
+    assert resumed_levels > 0, "resume did not skip any completed levels"
+    assert cover_to_json(result.fds, result.schema) == expected, (
+        "resumed cover differs from direct discover()"
+    )
+    metrics = client.metrics()
+    assert metrics["counters"]["cluster.service.jobs.resumed"] >= 1
+    print(
+        f"durability: {job_id} survived SIGKILL, resumed past "
+        f"{resumed_levels} completed levels, cover byte-identical"
+    )
 
 
 def main() -> int:
@@ -168,6 +293,9 @@ def main() -> int:
         assert status["status"] == "done", status
         assert status["cached"] is True, "restarted replica lost its store"
         print("recovery: replica restarted, served the persisted cover")
+
+        # --- durability: SIGKILL mid-discovery, job resumes -------------
+        kill_mid_job_scenario(url, data_dir, client)
     finally:
         proc.terminate()
         try:

@@ -404,7 +404,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_workers=args.max_workers,
         store_dir=args.store_dir,
         dataset_dir=args.dataset_dir,
+        recover=args.recover,
     )
+    if service.recovery:
+        print(
+            "recovered jobs from journal: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(service.recovery.items())),
+            flush=True,
+        )
     server = make_server(
         service, host=args.host, port=args.port, quiet=not args.verbose
     )
@@ -699,6 +706,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="on SIGTERM: stop accepting and let in-flight jobs finish "
         "for up to this long before exiting (graceful drain)",
+    )
+    serve.add_argument(
+        "--recover",
+        action="store_true",
+        help="replay the job journal on startup: requeue jobs that never "
+        "ran, resume checkpointed ones (see docs/durability.md)",
     )
     serve.add_argument("--verbose", action="store_true", help="log every request")
     _add_memplane_arg(serve)

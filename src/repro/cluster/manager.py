@@ -34,6 +34,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 from ..memplane import arena as _arena
+from ..service.journal import atomic_write_text
 
 #: Replica lifecycle states (mirrored into ``replicas.json``).
 STARTING = "starting"
@@ -233,6 +234,10 @@ class ReplicaManager:
             store.mkdir(parents=True, exist_ok=True)
             datasets.mkdir(parents=True, exist_ok=True)
             args += ["--store-dir", str(store), "--dataset-dir", str(datasets)]
+            # Replay the job journal on every (re)spawn: jobs that died
+            # with a crashed replica are requeued or resumed from their
+            # last checkpoint instead of 404ing (docs/durability.md).
+            args.append("--recover")
         if self.verbose:
             args.append("--verbose")
         return args
@@ -368,9 +373,7 @@ class ReplicaManager:
             "replicas": self.describe(),
         }
         self.data_dir.mkdir(parents=True, exist_ok=True)
-        path = self.data_dir / "replicas.json"
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(
-            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        atomic_write_text(
+            self.data_dir / "replicas.json",
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
         )
-        tmp.replace(path)

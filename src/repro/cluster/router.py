@@ -182,7 +182,13 @@ class _HTTPParser:
                 self.complete = True
 
 
-def _build_request(method: str, path: str, host: str, body: Optional[bytes]) -> bytes:
+def _build_request(
+    method: str,
+    path: str,
+    host: str,
+    body: Optional[bytes],
+    extra_headers: Optional[Dict[str, str]] = None,
+) -> bytes:
     """Serialized upstream HTTP request (always ``Connection: close``)."""
     lines = [
         f"{method} {path} HTTP/1.1",
@@ -190,6 +196,8 @@ def _build_request(method: str, path: str, host: str, body: Optional[bytes]) -> 
         "Connection: close",
         "Accept: application/json",
     ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
     if body:
         lines.append("Content-Type: application/json")
         lines.append(f"Content-Length: {len(body)}")
@@ -280,7 +288,7 @@ def merge_metrics(per_shard: Sequence[Optional[dict]]) -> dict:
         for name, value in (payload.get("gauges") or {}).items():
             gauges[f"{prefix}.{name}"] = value
             cluster_gauges[name] = cluster_gauges.get(name, 0) + value
-        for section in ("store", "scheduler"):
+        for section in ("store", "scheduler", "journal"):
             for name, value in (payload.get(section) or {}).items():
                 if isinstance(value, (int, float)):
                     counters[f"{prefix}.{section}.{name}"] = value
@@ -801,7 +809,18 @@ class Router:
             if not ref:
                 raise _PlanError(400, "job submission needs a 'dataset' reference")
             shard = self.table.shard_of(str(ref))
-            self._proxy(session, shard, method, target, body_bytes, hook="jobs")
+            # The client's Idempotency-Key must survive the proxy hop:
+            # the replica dedups retried submissions through it.
+            idem = (request.headers or {}).get("idempotency-key")
+            self._proxy(
+                session,
+                shard,
+                method,
+                target,
+                body_bytes,
+                hook="jobs",
+                extra_headers={"Idempotency-Key": idem} if idem else None,
+            )
             return
         if parts and parts[0] == "jobs" and len(parts) in (2, 3):
             shard, local_id = self._parse_job_ref(parts[1])
@@ -870,6 +889,7 @@ class Router:
         path: str,
         body: bytes,
         hook: Optional[str] = None,
+        extra_headers: Optional[Dict[str, str]] = None,
     ) -> None:
         url = self._shard_url(shard)
         if url is None:
@@ -882,7 +902,7 @@ class Router:
             return
         self._count(f"router.routed.shard-{shard}")
         host = urllib.parse.urlsplit(url).netloc
-        request = _build_request(method, path, host, body)
+        request = _build_request(method, path, host, body, extra_headers)
 
         def finish(upstreams: List[_Upstream]) -> None:
             self._finish_proxy(session, shard, hook, upstreams[0])

@@ -31,6 +31,8 @@ import threading
 from pathlib import Path
 from typing import Dict, Optional, Union
 
+from ..service.journal import atomic_write_text
+
 #: Version tag for the persisted routing-table file format.
 _ROUTES_FORMAT = "repro-fd-routes"
 
@@ -114,11 +116,9 @@ class RoutingTable:
             "routes": self._pinned,
         }
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = self.path.with_suffix(".tmp")
-        tmp.write_text(
-            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        atomic_write_text(
+            self.path, json.dumps(payload, indent=2, sort_keys=True) + "\n"
         )
-        tmp.replace(self.path)
 
     def _load(self) -> None:
         try:

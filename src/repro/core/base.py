@@ -19,9 +19,10 @@ relation before the limit hit) and the still-``unverified`` candidates.
 from __future__ import annotations
 
 import abc
+import os
 import time
 from dataclasses import replace
-from typing import Callable, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from ..relational.fd import FDSet
 from ..relational.relation import Relation
@@ -32,6 +33,28 @@ from .result import DiscoveryResult, DiscoveryStats
 
 #: Valid ``on_limit`` policies.
 ON_LIMIT_POLICIES = ("raise", "partial")
+
+#: Format tag / version of discovery checkpoint payloads (the snapshots
+#: the service's job journal persists — see ``docs/durability.md``).
+CHECKPOINT_FORMAT = "repro-fd-checkpoint"
+CHECKPOINT_VERSION = 1
+
+#: Default seconds between checkpoint emissions; override per-algorithm
+#: via ``checkpoint_interval`` or globally via the environment.  Zero
+#: means "every opportunity" (tests and chaos drills).
+DEFAULT_CHECKPOINT_INTERVAL = 5.0
+ENV_CHECKPOINT_INTERVAL = "REPRO_FD_CHECKPOINT_INTERVAL"
+
+
+def default_checkpoint_interval() -> float:
+    """The environment-configured checkpoint cadence (seconds)."""
+    raw = os.environ.get(ENV_CHECKPOINT_INTERVAL)
+    if raw is None:
+        return DEFAULT_CHECKPOINT_INTERVAL
+    try:
+        return max(0.0, float(raw))
+    except ValueError:
+        return DEFAULT_CHECKPOINT_INTERVAL
 
 
 class TimeLimitExceeded(Exception):
@@ -157,6 +180,15 @@ class DiscoveryAlgorithm(abc.ABC):
         self.time_limit = time_limit
         self.budget = budget
         self.on_limit = on_limit
+        #: Callable fed each checkpoint payload (the service wires the
+        #: job journal here); None disables checkpoint emission.
+        self.checkpoint_sink: Optional[Callable[[Dict[str, object]], None]] = None
+        #: Minimum seconds between emissions (0 = every opportunity).
+        self.checkpoint_interval: float = default_checkpoint_interval()
+        #: A checkpoint payload to resume from instead of starting cold
+        #: (validated against the relation in :meth:`_resume_state`).
+        self.resume_from: Optional[Dict[str, object]] = None
+        self._last_checkpoint_at: Optional[float] = None
 
     def _run_budget(self) -> RunBudget:
         """The effective budget: explicit > environment defaults."""
@@ -200,8 +232,59 @@ class DiscoveryAlgorithm(abc.ABC):
             raise ValueError(f"top_k must be >= 1, got {k}")
         return self._run(relation, top_k=k)
 
+    def emit_checkpoint(
+        self, build: Callable[[], Dict[str, object]], force: bool = False
+    ) -> bool:
+        """Send a checkpoint to the sink if the cadence allows it.
+
+        ``build`` is only called when a checkpoint is actually due, so
+        algorithms can pass a closure over live state without paying
+        serialization on every poll.  Sink failures are swallowed — a
+        checkpoint is an aid, never a reason to fail the run.
+        """
+        sink = self.checkpoint_sink
+        if sink is None:
+            return False
+        now = time.monotonic()
+        if (
+            not force
+            and self._last_checkpoint_at is not None
+            and now - self._last_checkpoint_at < self.checkpoint_interval
+        ):
+            return False
+        self._last_checkpoint_at = now
+        try:
+            sink(build())
+        except Exception:  # noqa: BLE001 — never fail the run for a sink
+            return False
+        return True
+
+    def _resume_state(self, relation: Relation) -> Optional[Dict[str, object]]:
+        """The validated resume payload for this run, or None.
+
+        A stale or foreign checkpoint (wrong format/version, different
+        algorithm, column count or null semantics) is rejected — the
+        run silently starts cold, which is always sound.
+        """
+        state = self.resume_from
+        if not isinstance(state, dict):
+            return None
+        if (
+            state.get("format") != CHECKPOINT_FORMAT
+            or state.get("version") != CHECKPOINT_VERSION
+            or state.get("algorithm") != self.name
+            or state.get("n_cols") != relation.n_cols
+            or state.get("semantics") != relation.semantics.value
+        ):
+            current_tracer().event(
+                "checkpoint_rejected", algorithm=self.name
+            )
+            return None
+        return state
+
     def _run(self, relation: Relation, top_k: Optional[int]) -> DiscoveryResult:
         context = RunContext(self.name, self._run_budget())
+        self._last_checkpoint_at = None
         tracer = current_tracer()
         start = time.perf_counter()
         completed = True

@@ -42,7 +42,13 @@ from ..relational.fd import FD, FDSet, normalize_singleton_cover
 from ..relational.relation import Relation
 from ..resilience import RunBudget
 from ..telemetry import current_tracer
-from .base import Deadline, DiscoveryAlgorithm, RunContext
+from .base import (
+    CHECKPOINT_FORMAT,
+    CHECKPOINT_VERSION,
+    Deadline,
+    DiscoveryAlgorithm,
+    RunContext,
+)
 from .ddm import DynamicDataManager
 from .ratio import DEFAULT_RATIO_THRESHOLD, LevelDecision
 from .result import DiscoveryStats
@@ -68,6 +74,67 @@ def _shed_arena() -> int:
     """Ladder rung: evict the dataset arena's unpinned entries."""
     arena = current_arena()
     return arena.shed() if arena is not None else 0
+
+
+def _checkpoint_payload(
+    relation: Relation,
+    tree: ExtendedFDTree,
+    confirmed: List[Tuple[AttrSet, AttrSet]],
+    applied: Set[AttrSet],
+    validation_level: int,
+    validated_fds: int,
+) -> dict:
+    """The JSON-friendly resume snapshot at one level boundary.
+
+    Everything needed to re-enter the level loop: the candidate tree
+    as ``[lhs, rhs]`` bitmask pairs, the exactly-validated pairs, the
+    violation LHSs already inducted, and the validated-level watermark.
+    Partitions are deliberately absent — the DDM rebuilds singletons on
+    resume and re-refines on its own evidence; the cover is invariant
+    to that choice (same guarantee as ``enable_ddm_updates=False``).
+    """
+    return {
+        "format": CHECKPOINT_FORMAT,
+        "version": CHECKPOINT_VERSION,
+        "algorithm": "dhyfd",
+        "n_cols": relation.n_cols,
+        "semantics": relation.semantics.value,
+        "validation_level": validation_level,
+        "validated_fds": validated_fds,
+        "tree": sorted(
+            [node.path(), node.rhs]
+            for node in tree.iter_fd_nodes()
+            if not node.deleted and node.rhs
+        ),
+        "confirmed": [[lhs, rhs] for lhs, rhs in confirmed],
+        "applied": sorted(applied),
+    }
+
+
+def _rebuild_from_checkpoint(state: dict, n_cols: int):
+    """Rebuild the level-loop state from a checkpoint payload.
+
+    Returns ``(tree, confirmed, applied, validation_level,
+    validated_fds)`` or ``None`` when the payload is malformed — a
+    rejected checkpoint degrades to a (sound) cold start.
+    """
+    try:
+        validation_level = int(state["validation_level"])
+        validated_fds = int(state["validated_fds"])
+        pairs = [(int(lhs), int(rhs)) for lhs, rhs in state["tree"]]
+        confirmed = [(int(lhs), int(rhs)) for lhs, rhs in state["confirmed"]]
+        applied = {int(lhs) for lhs in state["applied"]}
+    except (KeyError, TypeError, ValueError):
+        return None
+    if validation_level < 1 or not pairs:
+        return None
+    full = attrset.full_set(n_cols)
+    tree = ExtendedFDTree(n_cols)
+    for lhs, rhs in pairs:
+        if lhs < 0 or (lhs | full) != full or (rhs | full) != full or not rhs:
+            return None
+        tree.add_fd(lhs, rhs)
+    return tree, confirmed, applied, validation_level, validated_fds
 
 
 class DHyFD(DiscoveryAlgorithm):
@@ -269,40 +336,72 @@ class DHyFD(DiscoveryAlgorithm):
                 # pinned, so its shared view survives the shed).
                 sentinel.add_stage("evict_arena_datasets", _shed_arena)
 
-        # --- one-shot sampling plus root validation (Alg. 6 lines 5-6)
-        violations: Set[AttrSet] = set()
-        if self.enable_initial_sampling:
-            with tracer.span("sampling") as span:
-                violations |= initial_sample(
-                    relation, ddm.singletons, backend=self.backend,
-                    executor=executor,
-                )
-                span.annotate(non_fds=len(violations))
-        stats.sampled_non_fds = len(violations)
-        with tracer.span("validation", level=0) as span:
-            root_check = validate_fd(
-                relation, attrset.EMPTY, all_attrs, ddm.universal,
-                backend=self.backend,
-            )
-            span.annotate(comparisons=root_check.comparisons)
-        stats.comparisons += root_check.comparisons
-        stats.validations += 1
-        violations |= root_check.non_fd_lhs
-        applied: Set[AttrSet] = set()
-        with tracer.span("induction", level=0, non_fds=len(violations)):
-            self._induct_all(tree, violations, applied, 0, 0, None, stats, deadline)
-        # Root candidates were exactly validated against ddm.universal:
-        # whatever RHS survives induction is sound.
-        for node in tree.nodes_at_level(0):
-            if not node.deleted and node.rhs:
-                confirmed.append((node.path(), node.rhs))
-                if tracker is not None:
-                    _measure(node.path(), node.rhs)
+        # --- checkpoint/resume: a journal snapshot replaces sampling +
+        # root validation with the rebuilt tree and validated-level
+        # watermark (full discovery only — top-k runs re-search).
+        resume = self._resume_state(relation) if tracker is None else None
+        restored = (
+            _rebuild_from_checkpoint(resume, n_cols) if resume is not None else None
+        )
 
-        controlled_level = 1
-        validation_level = 1
-        validated_fds = 0
-        candidates = tree.nodes_at_level(1)
+        def _emit_level_checkpoint() -> None:
+            if tracker is not None:
+                return
+            self.emit_checkpoint(
+                lambda: _checkpoint_payload(
+                    relation, tree, confirmed, applied,
+                    validation_level, validated_fds,
+                )
+            )
+
+        if restored is not None:
+            tree, resumed_confirmed, applied, validation_level, validated_fds = restored
+            confirmed.extend(resumed_confirmed)
+            controlled_level = 1
+            stats.resumed_levels = validation_level
+            tracer.event(
+                "checkpoint_resume",
+                level=validation_level,
+                fds=tree.fd_count,
+                confirmed=len(confirmed),
+            )
+        else:
+            # --- one-shot sampling plus root validation (Alg. 6 lines 5-6)
+            violations: Set[AttrSet] = set()
+            if self.enable_initial_sampling:
+                with tracer.span("sampling") as span:
+                    violations |= initial_sample(
+                        relation, ddm.singletons, backend=self.backend,
+                        executor=executor,
+                    )
+                    span.annotate(non_fds=len(violations))
+            stats.sampled_non_fds = len(violations)
+            with tracer.span("validation", level=0) as span:
+                root_check = validate_fd(
+                    relation, attrset.EMPTY, all_attrs, ddm.universal,
+                    backend=self.backend,
+                )
+                span.annotate(comparisons=root_check.comparisons)
+            stats.comparisons += root_check.comparisons
+            stats.validations += 1
+            violations |= root_check.non_fd_lhs
+            applied = set()
+            with tracer.span("induction", level=0, non_fds=len(violations)):
+                self._induct_all(tree, violations, applied, 0, 0, None, stats, deadline)
+            # Root candidates were exactly validated against ddm.universal:
+            # whatever RHS survives induction is sound.
+            for node in tree.nodes_at_level(0):
+                if not node.deleted and node.rhs:
+                    confirmed.append((node.path(), node.rhs))
+                    if tracker is not None:
+                        _measure(node.path(), node.rhs)
+
+            controlled_level = 1
+            validation_level = 1
+            validated_fds = 0
+        candidates = tree.nodes_at_level(validation_level)
+        if candidates:
+            _emit_level_checkpoint()
 
         while candidates:
             deadline.check()
@@ -437,6 +536,10 @@ class DHyFD(DiscoveryAlgorithm):
             stats.levels_processed += 1
             validation_level += 1
             candidates = tree.nodes_at_level(validation_level)
+            # Level boundary: everything below the new watermark is
+            # exactly validated, so this is a sound resume point.
+            if candidates:
+                _emit_level_checkpoint()
             # Early termination: once the tracker is full, stop as soon
             # as no still-unvalidated FD node (depth >= the next
             # validation level) can reach the running k-th redundancy.

@@ -38,6 +38,10 @@ class DiscoveryStats:
     #: upper bound fell below the running k-th redundancy (zero for
     #: full discovery — see :meth:`DiscoveryAlgorithm.discover_top_k`).
     pruned_candidates: int = 0
+    #: Validation levels this run skipped by resuming from a journal
+    #: checkpoint instead of starting cold (zero for cold runs — see
+    #: ``docs/durability.md``).
+    resumed_levels: int = 0
     level_log: List[Dict[str, float]] = field(default_factory=list)
 
     def record_cache(self, cache) -> None:

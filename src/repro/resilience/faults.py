@@ -19,6 +19,9 @@ Fault points
 ``limit.deadline``         a deadline poll trips deterministically
 ``pool.broken``            the process pool reports itself broken mid-run
 ``arena.attach``           attaching a dataset-arena segment fails
+``journal.torn_write``     a WAL append crashes after half the frame
+``journal.replay``         WAL replay aborts mid-file (treated as torn)
+``scheduler.recover``      scheduler recovery crashes mid-replay
 ====================== ====================================================
 
 Arming
@@ -67,6 +70,9 @@ FAULT_POINTS = frozenset(
         "limit.deadline",
         "pool.broken",
         "arena.attach",
+        "journal.torn_write",
+        "journal.replay",
+        "scheduler.recover",
     }
 )
 

@@ -38,9 +38,11 @@ from ..ranking.ranker import rank_cover
 from ..relational.fd import FDSet
 from ..relational.io import read_csv_text
 from ..relational.relation import Relation
+from ..core.base import default_checkpoint_interval
 from ..telemetry import MetricsRegistry, Tracer, trace_summary, use_tracer
 from .config import JobConfig
-from .registry import DatasetEntry, DatasetRegistry
+from .journal import WAL_FILENAME, JobJournal, journal_enabled_by_env
+from .registry import DatasetEntry, DatasetRegistry, UnknownDatasetError
 from .scheduler import Job, JobCancelled, JobScheduler
 from .store import ResultStore
 
@@ -53,6 +55,9 @@ class FDService:
         max_workers: int = 2,
         store_dir: Optional[Union[str, Path]] = None,
         dataset_dir: Optional[Union[str, Path]] = None,
+        journal: Optional[bool] = None,
+        recover: bool = False,
+        checkpoint_interval: Optional[float] = None,
     ):
         """Args:
             max_workers: concurrent discovery runs (scheduler bound).
@@ -60,6 +65,17 @@ class FDService:
             dataset_dir: persist registered datasets here too, so a
                 restarted replica still owns its shard (see
                 :mod:`repro.cluster`).
+            journal: write-ahead log job transitions to ``jobs.wal``
+                under ``store_dir`` (see ``docs/durability.md``).
+                ``None`` enables it whenever ``store_dir`` is set and
+                ``REPRO_FD_JOURNAL`` doesn't say otherwise; ``True``
+                forces it on (still needs a ``store_dir``).
+            recover: replay the journal on startup — requeue jobs that
+                never started, resume checkpointed ones, mark
+                unrecoverable ones ``lost``.
+            checkpoint_interval: seconds between discovery checkpoint
+                emissions (``None`` = ``REPRO_FD_CHECKPOINT_INTERVAL``
+                or 5.0; 0 checkpoints at every level boundary).
         """
         self.metrics = MetricsRegistry()
         self._metrics_lock = threading.Lock()
@@ -67,12 +83,47 @@ class FDService:
         self.registry = DatasetRegistry(
             store=self.store, count=self._count, persist_dir=dataset_dir
         )
+        self.checkpoint_interval = (
+            default_checkpoint_interval()
+            if checkpoint_interval is None
+            else max(0.0, checkpoint_interval)
+        )
+        enabled = journal if journal is not None else journal_enabled_by_env()
+        self.journal: Optional[JobJournal] = None
+        if enabled and store_dir is not None:
+            try:
+                self.journal = JobJournal(
+                    Path(store_dir) / WAL_FILENAME, count=self._count
+                )
+            except Exception:  # noqa: BLE001 — durability aid, not hazard
+                self._count("service.journal.errors")
         self.scheduler = JobScheduler(
-            self._execute, max_workers=max_workers, count=self._count
+            self._execute,
+            max_workers=max_workers,
+            count=self._count,
+            journal=self.journal,
         )
         #: Single-flight table: store key -> leader job currently running it.
         self._inflight: Dict[tuple, Job] = {}
         self._inflight_lock = threading.Lock()
+        #: Startup-recovery outcome (``/health`` surfaces this).
+        self.recovery: Dict[str, int] = {}
+        if recover and self.journal is not None:
+            self.recovery = self.scheduler.recover(
+                dataset_ok=self._dataset_known, result_for=self._stored_result
+            )
+
+    def _dataset_known(self, fingerprint: str) -> bool:
+        try:
+            self.registry.resolve(fingerprint)
+            return True
+        except UnknownDatasetError:
+            return False
+
+    def _stored_result(
+        self, fingerprint: str, config: JobConfig
+    ) -> Optional[DiscoveryResult]:
+        return self.store.get(fingerprint, config)
 
     def _count(self, name: str, amount: int = 1) -> None:
         """Thread-safe counter increment on the service metrics registry."""
@@ -125,12 +176,21 @@ class FDService:
         kind: str = "discover",
         config: Optional[Union[JobConfig, Dict[str, object]]] = None,
         priority: int = 0,
+        idempotency_key: Optional[str] = None,
     ) -> Job:
-        """Queue a discovery or ranking job against a registered dataset."""
+        """Queue a discovery or ranking job against a registered dataset.
+
+        ``idempotency_key`` (the HTTP ``Idempotency-Key`` header) makes
+        retried submissions safe: a repeated key returns the original
+        job — across restarts too, since the key rides in the journal.
+        """
         if not isinstance(config, JobConfig):
             config = JobConfig.from_dict(config)
         fingerprint = self.registry.resolve(dataset)
-        return self.scheduler.submit(fingerprint, kind, config, priority=priority)
+        return self.scheduler.submit(
+            fingerprint, kind, config, priority=priority,
+            idempotency_key=idempotency_key,
+        )
 
     def discover(
         self,
@@ -242,10 +302,24 @@ class FDService:
         try:
             self._count("service.discovery.runs")
             algo = make_algorithm(config.algorithm, **config.algorithm_kwargs())
+            if config.top_k is None and self.journal is not None:
+                # Durable job plane: periodic checkpoints ride the WAL,
+                # and a recovered job's snapshot seeds the FD tree so
+                # completed levels aren't redone (docs/durability.md).
+                journal, job_id = self.journal, job.job_id
+                algo.checkpoint_interval = self.checkpoint_interval
+                algo.checkpoint_sink = (
+                    lambda state: journal.record_checkpoint(job_id, state)
+                )
+                if job.checkpoint is not None:
+                    algo.resume_from = job.checkpoint
             if config.top_k is not None:
                 result = algo.discover_top_k(entry.relation, config.top_k)
             else:
                 result = algo.discover(entry.relation)
+                if getattr(algo, "resume_from", None) is not None and result.stats.resumed_levels > 0:
+                    job.resumed = True
+                    self._count("service.jobs.resumed")
             self.store.put(entry.fingerprint, config, result)
             return result
         finally:
@@ -276,13 +350,16 @@ class FDService:
     def health(self) -> Dict[str, object]:
         """Liveness summary for the ``/health`` endpoint."""
         scheduler = self.scheduler.counters()
-        return {
+        payload = {
             "status": "ok",
             "version": __version__,
             "datasets": len(self.registry),
             "cached_results": len(self.store),
             "jobs": scheduler,
         }
+        if self.recovery:
+            payload["recovery"] = dict(self.recovery)
+        return payload
 
     def metrics_payload(self) -> Dict[str, object]:
         """All counters for the ``/metrics`` endpoint."""
@@ -293,12 +370,15 @@ class FDService:
             }
         gauges = dict(self.scheduler.gauges())
         gauges.update(memplane.gauges())
-        return {
+        payload = {
             "counters": counters,
             "gauges": gauges,
             "store": self.store.counters(),
             "scheduler": self.scheduler.counters(),
         }
+        if self.journal is not None:
+            payload["journal"] = self.journal.counters()
+        return payload
 
     def drain(self, timeout: Optional[float] = None) -> bool:
         """Graceful shutdown, phase one: refuse new jobs, finish accepted.
@@ -313,8 +393,14 @@ class FDService:
         return finished
 
     def close(self) -> None:
-        """Shut the scheduler down (queued jobs are cancelled)."""
+        """Shut the scheduler down (queued jobs are cancelled).
+
+        A clean shutdown compacts the journal, so the WAL restarts as
+        one summary record set instead of full checkpoint history.
+        """
         self.scheduler.shutdown()
+        if self.journal is not None:
+            self.journal.close(compact=True)
 
     def __enter__(self) -> "FDService":
         return self

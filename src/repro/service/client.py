@@ -20,6 +20,7 @@ import json
 import time
 import urllib.error
 import urllib.request
+import uuid
 from typing import Dict, List, Optional, Sequence
 
 from ..core.result import DiscoveryResult
@@ -105,6 +106,7 @@ class ServiceClient:
         payload: Optional[Dict[str, object]] = None,
         timeout: Optional[float] = None,
         idempotent: bool = True,
+        headers: Optional[Dict[str, str]] = None,
     ) -> Dict[str, object]:
         """One request with retries.
 
@@ -113,12 +115,16 @@ class ServiceClient:
         the body means the request may already have been applied, and
         replaying a non-idempotent append would apply it twice.  503s
         are still retried — the server refused the job before doing any
-        work, so repeating is always safe.
+        work, so repeating is always safe.  Job submissions stay
+        ``idempotent=True`` because every one carries an
+        ``Idempotency-Key`` header the service dedups through its
+        journal — a replayed submit returns the original job instead of
+        queueing a duplicate.
         """
         last_error: Optional[ServiceError] = None
         for attempt in range(self.retries + 1):
             try:
-                return self._request_once(method, path, payload, timeout)
+                return self._request_once(method, path, payload, timeout, headers)
             except ServiceError as exc:
                 retry_after = exc.retry_after if exc.status == 503 else None
                 if exc.status == 503 and attempt < self.retries:
@@ -145,13 +151,17 @@ class ServiceClient:
         path: str,
         payload: Optional[Dict[str, object]] = None,
         timeout: Optional[float] = None,
+        headers: Optional[Dict[str, str]] = None,
     ) -> Dict[str, object]:
         body = json.dumps(payload).encode("utf-8") if payload is not None else None
+        merged = {"Content-Type": "application/json"}
+        if headers:
+            merged.update(headers)
         request = urllib.request.Request(
             self.base_url + path,
             data=body,
             method=method,
-            headers={"Content-Type": "application/json"},
+            headers=merged,
         )
         try:
             with urllib.request.urlopen(
@@ -261,12 +271,20 @@ class ServiceClient:
         config: Optional[Dict[str, object]] = None,
         priority: int = 0,
         top_k: Optional[int] = None,
+        idempotency_key: Optional[str] = None,
     ) -> str:
-        """Queue a job; returns its id immediately."""
+        """Queue a job; returns its id immediately.
+
+        Every logical submission carries an ``Idempotency-Key`` header
+        (a fresh UUID unless the caller pins one), so transport-level
+        retries — and caller-level replays with the same key — land on
+        the original job instead of queueing duplicates.
+        """
         response = self._request(
             "POST",
             self._job_path(kind, top_k),
             {"dataset": dataset, "config": config or {}, "priority": priority},
+            headers={"Idempotency-Key": idempotency_key or uuid.uuid4().hex},
         )
         return response["job_id"]
 
@@ -285,7 +303,7 @@ class ServiceClient:
         deadline = None if timeout is None else time.monotonic() + timeout
         while True:
             status = self.status(job_id)
-            if status["status"] in ("done", "failed", "cancelled"):
+            if status["status"] in ("done", "failed", "cancelled", "lost"):
                 return status
             if deadline is not None and time.monotonic() >= deadline:
                 raise ServiceError(f"timed out waiting for {job_id}")
@@ -320,6 +338,7 @@ class ServiceClient:
                 "timeout": timeout,
             },
             timeout=timeout,
+            headers={"Idempotency-Key": uuid.uuid4().hex},
         )
 
     def rank(
@@ -346,6 +365,7 @@ class ServiceClient:
                 "timeout": timeout,
             },
             timeout=timeout,
+            headers={"Idempotency-Key": uuid.uuid4().hex},
         )
 
     # ------------------------------------------------------------------

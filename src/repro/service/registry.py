@@ -226,10 +226,10 @@ class DatasetRegistry:
         except (TypeError, ValueError):
             self._count("service.registry.persist_skipped")
             return
+        from .journal import atomic_write_text
+
         path = self.persist_dir / f"{entry.fingerprint[:32]}.json"
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(text + "\n", encoding="utf-8")
-        tmp.replace(path)
+        atomic_write_text(path, text + "\n")
 
     def _load(self) -> None:
         """Reload persisted datasets, oldest first so name aliases land

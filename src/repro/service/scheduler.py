@@ -12,17 +12,26 @@ tracks job state, and turns exceptions into ``failed`` statuses.
 Cancellation is cooperative: a queued job is cancelled outright (it is
 skipped when popped); a running job gets ``cancel_requested`` set,
 which the executor may honour at its own checkpoints.
+
+With a :class:`~repro.service.journal.JobJournal` attached, every
+transition is write-ahead logged and :meth:`JobScheduler.recover`
+rebuilds the job table after a crash: jobs that never started are
+requeued, checkpointed ones resume, unrecoverable ones become ``lost``
+— a real terminal status clients can observe instead of a 404 (see
+``docs/durability.md``).
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import re
 import threading
 import time
 from typing import Callable, Dict, List, Optional
 
 from ..core.result import DiscoveryResult
+from ..resilience import faults
 from .config import JobConfig
 from .store import _noop_count
 
@@ -32,6 +41,12 @@ RUNNING = "running"
 DONE = "done"
 FAILED = "failed"
 CANCELLED = "cancelled"
+#: Terminal state for journaled jobs a restart could not recover
+#: (dataset gone, undecodable config): the id still resolves, the
+#: client's poll loop sees a terminal status instead of a 404.
+LOST = "lost"
+
+_JOB_ID_RE = re.compile(r"^job-(\d+)$")
 
 
 class UnknownJobError(KeyError):
@@ -86,6 +101,15 @@ class Job:
         self.finished_at: Optional[float] = None
         #: Flat telemetry summary of the run (see ``trace_summary``).
         self.trace: Optional[Dict[str, object]] = None
+        #: Client-supplied dedup key (see ``Idempotency-Key`` header).
+        self.idempotency_key: Optional[str] = None
+        #: Discovery checkpoint to resume from (set by recovery).
+        self.checkpoint: Optional[Dict[str, object]] = None
+        #: True when this Job was rebuilt from the journal after a
+        #: restart; ``resumed`` additionally means its execution seeded
+        #: the FD tree from a checkpoint instead of starting cold.
+        self.recovered = False
+        self.resumed = False
         self.done = threading.Event()
 
     def status_payload(self, include_result: bool = True) -> Dict[str, object]:
@@ -104,6 +128,10 @@ class Job:
             "started_at": self.started_at,
             "finished_at": self.finished_at,
         }
+        if self.recovered:
+            payload["recovered"] = True
+        if self.resumed:
+            payload["resumed"] = True
         if include_result and self.result is not None:
             payload["result"] = self.result.to_payload()
         if self.ranking is not None:
@@ -121,21 +149,28 @@ class JobScheduler:
         executor: Callable[[Job], None],
         max_workers: int = 2,
         count: Callable[..., None] = _noop_count,
+        journal=None,
     ):
         """Args:
             executor: runs one job (sets ``result``/``ranking``/...);
                 raised exceptions mark the job ``failed``.
             max_workers: concurrent discovery runs allowed.
             count: metrics hook ``count(name, amount=1)``.
+            journal: optional
+                :class:`~repro.service.journal.JobJournal` — every
+                transition is write-ahead logged for crash recovery.
         """
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
         self._executor = executor
         self._count = count
+        self._journal = journal
         self.max_workers = max_workers
         self._cond = threading.Condition()
         self._heap: List[tuple] = []
         self._jobs: Dict[str, Job] = {}
+        #: Idempotency-key -> job id (dedup table, rebuilt on recover).
+        self._by_key: Dict[str, str] = {}
         self._seq = itertools.count(1)
         self._stopping = False
         self._draining = False
@@ -159,8 +194,14 @@ class JobScheduler:
         kind: str,
         config: JobConfig,
         priority: int = 0,
+        idempotency_key: Optional[str] = None,
     ) -> Job:
-        """Queue a job; returns immediately with the live :class:`Job`."""
+        """Queue a job; returns immediately with the live :class:`Job`.
+
+        ``idempotency_key`` dedups retried submissions: a key already
+        seen (including across restarts, via the journal) returns the
+        original job instead of queueing a duplicate.
+        """
         if kind not in ("discover", "rank"):
             raise ValueError(f"job kind must be 'discover' or 'rank', got {kind!r}")
         with self._cond:
@@ -168,12 +209,30 @@ class JobScheduler:
                 raise RuntimeError("scheduler is shut down")
             if self._draining:
                 raise SchedulerDraining("scheduler is draining; not accepting jobs")
+            if idempotency_key is not None:
+                existing = self._by_key.get(idempotency_key)
+                if existing is not None and existing in self._jobs:
+                    self._count("service.jobs.deduped")
+                    return self._jobs[existing]
             seq = next(self._seq)
             job = Job(f"job-{seq}", dataset, kind, config, priority=priority)
+            job.idempotency_key = idempotency_key
+            if idempotency_key is not None:
+                self._by_key[idempotency_key] = job.job_id
             self._jobs[job.job_id] = job
             heapq.heappush(self._heap, (-priority, seq, job))
             self._count("service.jobs.submitted")
             self._cond.notify()
+        if self._journal is not None:
+            self._journal.record_submit(
+                job.job_id,
+                dataset,
+                kind,
+                config.to_dict(),
+                priority=priority,
+                idempotency_key=idempotency_key,
+                submitted_at=job.submitted_at,
+            )
         return job
 
     def get(self, job_id: str) -> Job:
@@ -211,7 +270,13 @@ class JobScheduler:
                 self._count("service.jobs.cancelled")
             elif job.status == RUNNING:
                 job.cancel_requested = True
-            return job.status
+            status = job.status
+        if self._journal is not None:
+            if status == CANCELLED:
+                self._journal.record_finish(job_id, CANCELLED)
+            elif status == RUNNING:
+                self._journal.record_cancel(job_id)
+        return status
 
     def queue_depth(self) -> int:
         """Number of jobs waiting to run."""
@@ -236,6 +301,7 @@ class JobScheduler:
                 "done": by_status.get(DONE, 0),
                 "failed": by_status.get(FAILED, 0),
                 "cancelled": by_status.get(CANCELLED, 0),
+                "lost": by_status.get(LOST, 0),
             }
 
     def gauges(self) -> Dict[str, float]:
@@ -285,6 +351,7 @@ class JobScheduler:
 
     def shutdown(self, wait: bool = True) -> None:
         """Stop the workers; queued jobs are cancelled."""
+        cancelled: List[str] = []
         with self._cond:
             if self._stopping:
                 return
@@ -294,8 +361,12 @@ class JobScheduler:
                     job.status = CANCELLED
                     job.finished_at = time.time()
                     job.done.set()
+                    cancelled.append(job.job_id)
             self._heap.clear()
             self._cond.notify_all()
+        if self._journal is not None:
+            for job_id in cancelled:
+                self._journal.record_finish(job_id, CANCELLED)
         if wait:
             for worker in self._workers:
                 worker.join(timeout=30.0)
@@ -324,6 +395,8 @@ class JobScheduler:
             job = self._pop_job()
             if job is None:
                 return
+            if self._journal is not None:
+                self._journal.record_start(job.job_id)
             try:
                 self._executor(job)
             except JobCancelled:
@@ -338,6 +411,117 @@ class JobScheduler:
                 self._count("service.jobs.completed")
             finally:
                 job.finished_at = time.time()
+                if self._journal is not None:
+                    self._journal.record_finish(job.job_id, job.status)
                 with self._cond:
                     self._running -= 1
                 job.done.set()
+
+    # ------------------------------------------------------------------
+    # Crash recovery
+    # ------------------------------------------------------------------
+
+    def recover(
+        self,
+        dataset_ok: Callable[[str], bool],
+        result_for: Optional[
+            Callable[[str, JobConfig], Optional[DiscoveryResult]]
+        ] = None,
+    ) -> Dict[str, int]:
+        """Rebuild the job table from the attached journal's replay.
+
+        Jobs finish in one of four ways (counted in the returned dict):
+
+        * ``completed`` — the journal recorded a terminal status; the
+          Job is recreated terminal, and for ``done`` jobs the cover is
+          re-attached from the result store via ``result_for``, so the
+          client's poll loop lands on the same answer it would have.
+        * ``requeued`` — submitted but never started (or started
+          without a checkpoint): queued again from scratch.
+        * ``resumed`` — started with a checkpoint on record: queued
+          with ``job.checkpoint`` set so discovery seeds its FD tree
+          from the snapshot instead of starting cold.
+        * ``lost`` — the dataset is gone or the config undecodable; a
+          real terminal status, so pollers get an answer, not a 404.
+
+        Call before serving traffic (the journal replays in its
+        constructor; this only folds the replayed state in).
+        """
+        counts = {"completed": 0, "requeued": 0, "resumed": 0, "lost": 0}
+        if self._journal is None:
+            return counts
+        try:
+            faults.fire("scheduler.recover")
+            entries = sorted(
+                self._journal.jobs.values(), key=lambda j: j.submitted_at
+            )
+        except Exception:  # noqa: BLE001 — recovery must not kill boot
+            self._count("service.scheduler.recover_errors")
+            return counts
+        max_seq = 0
+        for entry in entries:
+            match = _JOB_ID_RE.match(entry.job_id)
+            if match:
+                max_seq = max(max_seq, int(match.group(1)))
+            try:
+                config = JobConfig.from_dict(entry.config)
+            except Exception:  # noqa: BLE001 — undecodable config
+                config = None
+            job = Job(
+                entry.job_id,
+                entry.dataset,
+                entry.kind,
+                config if config is not None else JobConfig.from_dict(None),
+                priority=entry.priority,
+            )
+            job.recovered = True
+            job.idempotency_key = entry.idempotency_key
+            job.submitted_at = entry.submitted_at or job.submitted_at
+            if entry.terminal is not None:
+                # Journal says it finished: recreate the terminal state
+                # (re-attaching the stored cover for ``done`` jobs).
+                job.status = entry.terminal
+                job.finished_at = job.submitted_at
+                if entry.terminal == DONE and result_for is not None and config is not None:
+                    result = result_for(entry.dataset, config)
+                    if result is not None:
+                        job.result = result
+                        job.cached = True
+                job.done.set()
+                counts["completed"] += 1
+            elif config is None or not dataset_ok(entry.dataset):
+                job.status = LOST
+                job.finished_at = time.time()
+                job.done.set()
+                counts["lost"] += 1
+                self._count("service.jobs.lost")
+                self._journal.record_finish(entry.job_id, LOST)
+            elif entry.cancel_requested:
+                # Cancellation was requested before the crash; honour
+                # it instead of resurrecting the run.
+                job.status = CANCELLED
+                job.finished_at = time.time()
+                job.done.set()
+                counts["completed"] += 1
+                self._journal.record_finish(entry.job_id, CANCELLED)
+            else:
+                if entry.checkpoint is not None:
+                    job.checkpoint = entry.checkpoint
+                    counts["resumed"] += 1
+                else:
+                    counts["requeued"] += 1
+                self._count("service.jobs.requeued")
+            with self._cond:
+                self._jobs[job.job_id] = job
+                if entry.idempotency_key is not None:
+                    self._by_key[entry.idempotency_key] = job.job_id
+                if job.status == QUEUED:
+                    seq = next(self._seq)
+                    heapq.heappush(self._heap, (-job.priority, seq, job))
+                    self._cond.notify()
+        # Fresh submissions must never collide with recovered ids.
+        with self._cond:
+            current = next(self._seq)
+            if current <= max_seq:
+                self._seq = itertools.count(max_seq + 1)
+        return counts

@@ -230,7 +230,11 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             except ValueError:
                 raise BadRequest(f"top_k must be an integer, got {raw!r}") from None
         job = self.server.service.submit(
-            dataset, kind, config, priority=int(body.get("priority", 0))
+            dataset,
+            kind,
+            config,
+            priority=int(body.get("priority", 0)),
+            idempotency_key=self.headers.get("Idempotency-Key"),
         )
         if body.get("wait"):
             timeout = body.get("timeout")

@@ -183,12 +183,14 @@ class ResultStore:
             "config": config.to_dict(),
             "result": result.to_payload(),
         }
+        # Durable replace (fsync tmp + parent dir): a SIGKILL or power
+        # cut can never leave an empty or torn JSON entry behind.
+        from .journal import atomic_write_text
+
         path = self.persist_dir / self._entry_filename(key)
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(
-            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        atomic_write_text(
+            path, json.dumps(payload, indent=2, sort_keys=True) + "\n"
         )
-        tmp.replace(path)
 
     def _load(self) -> None:
         """Reload persisted entries; malformed files are skipped, not fatal."""
