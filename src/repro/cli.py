@@ -5,6 +5,7 @@ Subcommands::
     discover   run FD discovery on a CSV file or a benchmark replica
     rank       discover + canonical cover + redundancy ranking
     covers     compare left-reduced vs canonical cover sizes
+    multitable join-FD discovery across CSV tables (virtual join)
     datasets   list the built-in benchmark replicas
     generate   write a benchmark replica to a CSV file
     serve      run the repro.service discovery server (HTTP)
@@ -392,6 +393,121 @@ def _cmd_keys(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_fk_side(side: str) -> tuple:
+    """``table.col[+col...]`` → ``(table, [cols])`` for --fk specs."""
+    table, dot, cols = side.partition(".")
+    if not dot or not table or not cols:
+        raise argparse.ArgumentTypeError(
+            f"foreign-key side must look like table.col or table.c1+c2, got {side!r}"
+        )
+    return table, cols.split("+")
+
+
+def _parse_fk_spec(spec: str) -> tuple:
+    """``child.col=parent.col`` → ``(child, ccols, parent, pcols)``."""
+    child_side, sep, parent_side = spec.partition("=")
+    if not sep:
+        raise argparse.ArgumentTypeError(
+            f"--fk must look like child.col=parent.col, got {spec!r}"
+        )
+    child, ccols = _parse_fk_side(child_side)
+    parent, pcols = _parse_fk_side(parent_side)
+    return child, ccols, parent, pcols
+
+
+def _cmd_multitable(args: argparse.Namespace) -> int:
+    import json
+
+    from .multitable import MultitableError, SchemaGraph, discover_join_fds
+
+    if args.backend is not None:
+        kernels.set_default_backend(args.backend)
+    if args.jobs is not None:
+        parallel.set_default_jobs(args.jobs)
+    _apply_memplane_flag(args)
+    try:
+        if args.star or not args.table:
+            # Demo mode: the reddit_star workload (docs/multitable.md).
+            from .datasets.star import STAR_PATH, reddit_star_graph
+
+            graph = reddit_star_graph(
+                n_posts=args.rows or 400, seed=args.seed
+            )
+            path = args.path.split(",") if args.path else list(STAR_PATH)
+        else:
+            semantics = NullSemantics.parse(args.null_semantics)
+            keys = {}
+            for spec in args.key:
+                table, sep, cols = spec.partition("=")
+                if not sep or not cols:
+                    print(
+                        f"error: --key must look like table=col or table=c1+c2, "
+                        f"got {spec!r}",
+                        file=sys.stderr,
+                    )
+                    return 2
+                keys[table] = cols.split("+")
+            graph = SchemaGraph()
+            for spec in args.table:
+                name, sep, csv_path = spec.partition("=")
+                if not sep or not csv_path:
+                    print(
+                        f"error: --table must look like name=path.csv, got {spec!r}",
+                        file=sys.stderr,
+                    )
+                    return 2
+                relation = read_csv(
+                    csv_path,
+                    semantics=semantics,
+                    max_rows=args.rows,
+                    on_bad_row=args.on_bad_row,
+                )
+                graph.add_table(name, relation, key=keys.get(name))
+            for child, ccols, parent, pcols in args.fk:
+                graph.add_foreign_key(
+                    child, ccols, parent, pcols, require_inclusion=False
+                )
+            if args.infer_fks:
+                graph.infer_foreign_keys()
+            if not args.path:
+                print(
+                    "error: --path T1,T2[,T3...] is required with --table inputs",
+                    file=sys.stderr,
+                )
+                return 2
+            path = [p for p in args.path.split(",") if p]
+        result = discover_join_fds(
+            graph,
+            path,
+            algorithm=args.algorithm,
+            on_dangling=args.on_dangling,
+            top_k=args.top_k,
+            jobs=args.jobs,
+            backend=args.backend,
+            time_limit=args.time_limit,
+        )
+    except MultitableError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(result.payload(), indent=2, sort_keys=True))
+        return 0
+    provenance = result.provenance
+    print(
+        f"{result.algorithm}: {len(result.ranking.ranked)} join FDs over "
+        f"{' -> '.join(result.path)} ({provenance.n_rows} virtual rows, "
+        f"never materialized) in {result.discovery.elapsed_seconds:.3f}s"
+    )
+    print(
+        f"  on_dangling={result.policy}: {provenance.dropped_rows} rows dropped, "
+        f"{provenance.padded_cells} cells padded; "
+        f"{result.intra_count} intra / {result.inter_count} inter-table"
+    )
+    for line in result.format_fds()[: args.top]:
+        print(" ", line)
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import signal
     import threading
@@ -666,6 +782,100 @@ def build_parser() -> argparse.ArgumentParser:
     _add_input_args(keys)
     keys.add_argument("--time-limit", type=float, default=None)
     keys.set_defaults(handler=_cmd_keys)
+
+    multitable = sub.add_parser(
+        "multitable",
+        help="join-FD discovery across CSV tables without materializing the join",
+        description="Declare a schema of base tables plus key/foreign-key "
+        "structure, then discover and rank the FDs of a join path's "
+        "virtual join (docs/multitable.md). With no --table inputs the "
+        "built-in reddit_star workload is used as a demo.",
+    )
+    multitable.add_argument(
+        "--table",
+        action="append",
+        default=[],
+        metavar="NAME=PATH.csv",
+        help="add a base table from a CSV file (repeatable)",
+    )
+    multitable.add_argument(
+        "--key",
+        action="append",
+        default=[],
+        metavar="TABLE=COL[+COL...]",
+        help="declare a table's primary key (default: inferred UCCs)",
+    )
+    multitable.add_argument(
+        "--fk",
+        action="append",
+        default=[],
+        type=_parse_fk_spec,
+        metavar="CHILD.COL=PARENT.COL",
+        help="declare a foreign-key edge, e.g. posts.author_id=authors.author_id "
+        "(composite: child.c1+c2=parent.p1+p2; repeatable)",
+    )
+    multitable.add_argument(
+        "--infer-fks",
+        action="store_true",
+        help="additionally infer unary foreign keys by inclusion testing",
+    )
+    multitable.add_argument(
+        "--path",
+        default=None,
+        metavar="T1,T2[,T3...]",
+        help="join path as a comma-separated table list",
+    )
+    multitable.add_argument(
+        "--star",
+        action="store_true",
+        help="use the built-in reddit_star workload (--rows posts, --seed)",
+    )
+    multitable.add_argument("--rows", type=int, default=None, help="row cap / demo size")
+    multitable.add_argument("--seed", type=int, default=0, help="demo generator seed")
+    multitable.add_argument(
+        "--null-semantics", default="eq", choices=["eq", "neq"],
+        help="null=null (eq, default) or null!=null (neq)",
+    )
+    multitable.add_argument(
+        "--on-bad-row",
+        default="raise",
+        choices=list(ON_BAD_ROW_POLICIES),
+        help="ragged/undecodable CSV rows: raise (default), skip, or pad",
+    )
+    multitable.add_argument(
+        "--on-dangling",
+        default="raise",
+        choices=["raise", "drop", "pad"],
+        help="referential violations in the join: fail (raise, default), "
+        "drop the rows (inner join), or pad with nulls (outer join)",
+    )
+    multitable.add_argument("--algorithm", default="dhyfd", choices=algorithm_names())
+    multitable.add_argument("--time-limit", type=float, default=None, metavar="SECONDS")
+    multitable.add_argument(
+        "--top-k",
+        type=int,
+        default=None,
+        metavar="K",
+        help="bound the ranking to the K highest-redundancy join FDs",
+    )
+    multitable.add_argument(
+        "--top", type=int, default=25, help="ranked FDs to print (default 25)"
+    )
+    multitable.add_argument(
+        "--backend",
+        default=None,
+        choices=list(kernels.BACKENDS),
+        help="provenance/partition-kernel backend",
+    )
+    multitable.add_argument(
+        "--jobs", default=None, metavar="N", type=_parse_jobs_arg,
+        help="worker processes for validation/ranking",
+    )
+    multitable.add_argument(
+        "--json", action="store_true", help="print the full JSON payload"
+    )
+    _add_memplane_arg(multitable)
+    multitable.set_defaults(handler=_cmd_multitable)
 
     datasets = sub.add_parser("datasets", help="list benchmark replicas")
     datasets.set_defaults(handler=_cmd_datasets)

@@ -10,11 +10,19 @@ Routing rules (see :mod:`repro.cluster.topology`):
 
 * ``POST /datasets`` — the router parses the upload, computes
   :meth:`Relation.fingerprint`, and hashes it to a shard, so the same
-  content always lands on the same replica no matter who uploads it;
+  content always lands on the same replica no matter who uploads it; a
+  ``colocate_with`` body key instead routes the upload to the named
+  dataset's shard (multi-table schemas need their base tables on one
+  replica);
 * ``POST /datasets/<ref>/append``, ``POST /discover``, ``POST /rank``
   — routed by the referenced dataset (pinned entry, else fingerprint
   hash); append responses pin the *new* fingerprint to the parent's
   shard;
+* ``POST /multitable/schemas`` — requires every referenced table on
+  one shard (409 otherwise — re-upload with ``colocate_with``);
+  responses pin the schema fingerprint and name to that shard, and
+  ``POST /multitable/discover`` / ``GET /multitable/schemas/<ref>``
+  follow the pin;
 * ``GET/POST /jobs...`` — job ids are namespaced ``s<shard>:<id>`` on
   the way out and routed by that prefix on the way back in;
 * ``GET /health``, ``GET /metrics``, ``GET /datasets``, ``GET /jobs``
@@ -55,6 +63,7 @@ _REASONS = {
     202: "Accepted",
     400: "Bad Request",
     404: "Not Found",
+    409: "Conflict",
     500: "Internal Server Error",
     502: "Bad Gateway",
     503: "Service Unavailable",
@@ -313,6 +322,18 @@ def merge_datasets(per_shard: Sequence[Optional[dict]]) -> dict:
             entry["replica"] = _replica_name(shard)
             datasets.append(entry)
     return {"datasets": datasets}
+
+
+def merge_schemas(per_shard: Sequence[Optional[dict]]) -> dict:
+    schemas: List[dict] = []
+    for shard, payload in enumerate(per_shard):
+        if payload is None:
+            continue
+        for entry in payload.get("schemas") or []:
+            entry = dict(entry)
+            entry["replica"] = _replica_name(shard)
+            schemas.append(entry)
+    return {"schemas": schemas}
 
 
 def merge_jobs(per_shard: Sequence[Optional[dict]]) -> dict:
@@ -788,12 +809,66 @@ class Router:
         if method == "GET" and parts in (["health"], ["metrics"], ["datasets"], ["jobs"]):
             self._fanout(session, method, "/" + parts[0], _MERGERS[parts[0]])
             return
+        if method == "GET" and parts == ["multitable", "schemas"]:
+            self._fanout(session, method, "/multitable/schemas", merge_schemas)
+            return
+        if (
+            method == "GET"
+            and len(parts) == 3
+            and parts[:2] == ["multitable", "schemas"]
+        ):
+            shard = self.table.shard_of(parts[2])
+            self._proxy(session, shard, method, target, body_bytes)
+            return
 
         body = self._parse_body(body_bytes) if method == "POST" else {}
         if method == "POST" and parts == ["datasets"]:
-            fingerprint = upload_fingerprint(body)
-            shard = self.table.shard_of(fingerprint)
+            colocate = body.get("colocate_with")
+            if colocate:
+                # Land this upload on the named dataset's shard so a
+                # schema over both tables can be registered there.
+                shard = self.table.shard_of(str(colocate))
+            else:
+                shard = self.table.shard_of(upload_fingerprint(body))
             self._proxy(session, shard, method, target, body_bytes, hook="upload")
+            return
+        if method == "POST" and parts == ["multitable", "schemas"]:
+            tables = body.get("tables")
+            if not isinstance(tables, dict) or not tables:
+                raise _PlanError(
+                    400,
+                    "schema registration needs a 'tables' object "
+                    "(table name -> dataset name or fingerprint)",
+                )
+            shards = {
+                str(ref): self.table.shard_of(str(ref)) for ref in tables.values()
+            }
+            if len(set(shards.values())) > 1:
+                self._count("router.schema_colocation_409")
+                raise _PlanError(
+                    409,
+                    "schema tables live on different shards "
+                    f"({shards}); re-upload the tables with 'colocate_with' "
+                    "so they share a replica",
+                )
+            shard = next(iter(shards.values()))
+            self._proxy(session, shard, method, target, body_bytes, hook="schema")
+            return
+        if method == "POST" and parts == ["multitable", "discover"]:
+            ref = body.get("schema") or body.get("dataset")
+            if not ref:
+                raise _PlanError(400, "multitable discovery needs a 'schema' reference")
+            shard = self.table.shard_of(str(ref))
+            idem = (request.headers or {}).get("idempotency-key")
+            self._proxy(
+                session,
+                shard,
+                method,
+                target,
+                body_bytes,
+                hook="jobs",
+                extra_headers={"Idempotency-Key": idem} if idem else None,
+            )
             return
         if (
             method == "POST"
@@ -925,7 +1000,7 @@ class Router:
             return
         body = response.body or b""
         content_type = (response.headers or {}).get("content-type", "application/json")
-        if hook in ("upload", "append") and response.status in (200, 201):
+        if hook in ("upload", "append", "schema") and response.status in (200, 201):
             self._pin_from_response(shard, body)
         if hook == "jobs" and body:
             try:

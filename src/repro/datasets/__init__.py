@@ -8,6 +8,13 @@ from .benchmarks import (
     load_benchmark,
 )
 from .ncvoter import NCVOTER_COLUMNS, ncvoter_like
+from .star import (
+    STAR_PATH,
+    reddit_star_fds,
+    reddit_star_graph,
+    reddit_star_joined,
+    reddit_star_tables,
+)
 from .synthetic import (
     constant_column_relation,
     duplicate_template_relation,
@@ -34,6 +41,11 @@ __all__ = [
     "ncvoter_like",
     "planted_fd_relation",
     "random_relation",
+    "STAR_PATH",
+    "reddit_star_fds",
+    "reddit_star_graph",
+    "reddit_star_joined",
+    "reddit_star_tables",
     "template_correlated_relation",
     "zipf_relation",
 ]

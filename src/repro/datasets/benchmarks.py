@@ -337,6 +337,12 @@ _register(
     has_nulls=True,
 )
 _register(
+    "reddit_star", 54504410, 15, None, 300,
+    "star schema (posts/authors/subreddits) served as its virtual join",
+    lambda rows, seed: _reddit_star(rows, seed),
+    has_nulls=True,
+)
+_register(
     "diabetic", 101766, 30, 40195, 300,
     "high-dimensional clinical data: correlated categorical block",
     lambda rows, seed: template_correlated_relation(
@@ -347,6 +353,14 @@ _register(
     ),
     has_nulls=True,
 )
+
+
+def _reddit_star(rows: int, seed: int) -> Relation:
+    # lazy import: repro.datasets.star pulls in repro.multitable, which
+    # this registry must not load unless the replica is actually used.
+    from .star import reddit_star_joined
+
+    return reddit_star_joined(n_posts=rows, seed=seed)
 
 
 def benchmark_names() -> List[str]:

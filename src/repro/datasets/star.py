@@ -1,0 +1,174 @@
+"""Reddit-May2015-style star-schema workload for multi-table discovery.
+
+A deterministic replica of the Reddit May-2015 comment-dump regime
+(posts referencing authors and subreddits) in the same spirit as
+:mod:`repro.datasets.benchmarks`: the *shape* is faithful — a wide fact
+table with two foreign keys, planted intra-table FDs (``country →
+lang``, ``score_band → gilded``, ``topic → nsfw``) and dirty FK rows
+(dangling author references plus null FKs) — while the values are
+synthetic.  It is the exemplar workload for
+:mod:`repro.multitable` (``docs/multitable.md``) and is registered in
+the benchmark registry as ``reddit_star`` (the registry entry loads
+the *virtual join* at bench scale).
+
+``dirty_fraction`` controls referential dirt in ``posts.author_id``:
+half of the dirty rows dangle (a ghost author), half are null.  The
+``subreddit_id`` foreign key is always clean so join paths through it
+validate under ``on_dangling="raise"``.  Author ``a0`` is a lurker who
+never posts, so the expand step always has a childless parent: under
+``on_dangling="pad"`` the joined relation carries outer-join nulls at
+every scale (the ``reddit_star`` registry entry declares
+``has_nulls=True`` on the strength of this).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional, Tuple, Union
+
+from ..multitable.discovery import JoinFDResult, discover_join_fds
+from ..multitable.provenance import lift_relation, build_provenance
+from ..multitable.schema import SchemaGraph
+from ..relational.null import NullSemantics
+from ..relational.relation import Relation
+
+#: The canonical join path through the star: authors fan out over their
+#: posts (one-to-many), each post resolves its subreddit (many-to-one).
+STAR_PATH: Tuple[str, str, str] = ("authors", "posts", "subreddits")
+
+_COUNTRIES = ["us", "uk", "de", "fr", "jp", "br", "in", "au"]
+_LANG = {
+    "us": "en", "uk": "en", "de": "de", "fr": "fr",
+    "jp": "ja", "br": "pt", "in": "en", "au": "en",
+}
+_TOPICS = ["cats", "science", "news", "gaming", "music", "sports"]
+_NSFW = {t: ("yes" if t in ("news", "gaming") else "no") for t in _TOPICS}
+
+
+def reddit_star_tables(
+    n_posts: int = 400,
+    seed: int = 0,
+    dirty_fraction: float = 0.05,
+    semantics: Union[str, NullSemantics] = NullSemantics.EQ,
+) -> Dict[str, Relation]:
+    """Generate the three base tables (``posts``, ``authors``, ``subreddits``)."""
+    semantics = NullSemantics.parse(semantics)
+    rng = random.Random(seed)
+    n_authors = max(2, n_posts // 4)
+    n_subreddits = max(2, n_posts // 50)
+
+    author_rows = []
+    for i in range(n_authors):
+        country = _COUNTRIES[rng.randrange(len(_COUNTRIES))]
+        author_rows.append([
+            f"a{i}",
+            f"user_{i}",
+            country,
+            _LANG[country],
+            f"k{rng.randrange(5)}",
+        ])
+    authors = Relation.from_rows(
+        author_rows,
+        ["author_id", "username", "country", "lang", "karma_band"],
+        semantics=semantics,
+    )
+
+    subreddit_rows = []
+    for i in range(n_subreddits):
+        topic = _TOPICS[rng.randrange(len(_TOPICS))]
+        subreddit_rows.append([f"s{i}", f"r_{i}", topic, _NSFW[topic]])
+    subreddits = Relation.from_rows(
+        subreddit_rows,
+        ["subreddit_id", "name", "topic", "nsfw"],
+        semantics=semantics,
+    )
+
+    n_dirty = int(n_posts * dirty_fraction)
+    post_rows = []
+    for i in range(n_posts):
+        # a0 never posts (see module docstring): clean posts draw from
+        # a1.. so the expand step always has one childless parent
+        author: Optional[str] = f"a{1 + rng.randrange(n_authors - 1)}"
+        if i < n_dirty:
+            # alternate dangling ghosts and null FKs among the dirty rows
+            author = f"ghost{i}" if i % 2 == 0 else None
+        score_band = f"s{rng.randrange(6)}"
+        post_rows.append([
+            f"p{i}",
+            author,
+            f"s{rng.randrange(n_subreddits)}",
+            f"d{rng.randrange(28)}",
+            score_band,
+            "gilded" if score_band in ("s4", "s5") else "plain",
+        ])
+    posts = Relation.from_rows(
+        post_rows,
+        ["post_id", "author_id", "subreddit_id", "day", "score_band", "gilded"],
+        semantics=semantics,
+    )
+    return {"posts": posts, "authors": authors, "subreddits": subreddits}
+
+
+def reddit_star_graph(
+    n_posts: int = 400,
+    seed: int = 0,
+    dirty_fraction: float = 0.05,
+    semantics: Union[str, NullSemantics] = NullSemantics.EQ,
+) -> SchemaGraph:
+    """The star as a :class:`~repro.multitable.schema.SchemaGraph`."""
+    tables = reddit_star_tables(
+        n_posts=n_posts,
+        seed=seed,
+        dirty_fraction=dirty_fraction,
+        semantics=semantics,
+    )
+    graph = SchemaGraph()
+    graph.add_table("posts", tables["posts"], key=["post_id"])
+    graph.add_table("authors", tables["authors"], key=["author_id"])
+    graph.add_table("subreddits", tables["subreddits"], key=["subreddit_id"])
+    graph.add_foreign_key(
+        "posts", ["author_id"], "authors", ["author_id"],
+        require_inclusion=dirty_fraction <= 0,
+    )
+    graph.add_foreign_key(
+        "posts", ["subreddit_id"], "subreddits", ["subreddit_id"]
+    )
+    return graph
+
+
+def reddit_star_joined(
+    n_posts: int = 400,
+    seed: int = 0,
+    dirty_fraction: float = 0.05,
+    semantics: Union[str, NullSemantics] = NullSemantics.EQ,
+) -> Relation:
+    """The star's virtual join along :data:`STAR_PATH` as one relation.
+
+    Built through the provenance lift with ``on_dangling="pad"`` (dirty
+    author rows become outer-join nulls), so it exercises the null
+    semantics; this is what the ``reddit_star`` benchmark entry loads.
+    """
+    graph = reddit_star_graph(
+        n_posts=n_posts,
+        seed=seed,
+        dirty_fraction=dirty_fraction,
+        semantics=semantics,
+    )
+    provenance = build_provenance(graph, STAR_PATH, on_dangling="pad")
+    return lift_relation(graph, provenance)
+
+
+def reddit_star_fds(
+    n_posts: int = 400,
+    seed: int = 0,
+    dirty_fraction: float = 0.05,
+    top_k: Optional[int] = 25,
+    **kwargs,
+) -> JoinFDResult:
+    """One-call demo: discover and rank the star's join FDs."""
+    graph = reddit_star_graph(
+        n_posts=n_posts, seed=seed, dirty_fraction=dirty_fraction
+    )
+    return discover_join_fds(
+        graph, STAR_PATH, on_dangling="pad", top_k=top_k, **kwargs
+    )

@@ -1,0 +1,481 @@
+"""Schema graphs: named relations joined by key/foreign-key edges.
+
+A :class:`SchemaGraph` is the multi-table counterpart of a single
+:class:`~repro.relational.relation.Relation`: a set of named base
+tables (all encoded under one null semantics) plus the key and
+foreign-key structure that makes joins between them well-defined.
+
+* **Keys** are either declared (and validated against the data with a
+  stripped-partition uniqueness check, then minimized through
+  :func:`~repro.normalize.keys.minimize_superkey`) or inferred as the
+  minimal UCCs of the table via
+  :func:`~repro.ucc.discovery.discover_uccs` under a ``max_key_arity``
+  bound, so wide tables never enumerate the full UCC lattice.
+* **Foreign keys** are directed edges ``child[cols] -> parent[cols]``
+  whose parent side must be a key.  Edges are either declared or
+  inferred by an inclusion-dependency test over the encoded columns
+  (:func:`inclusion_coverage`), which treats nulls by the *encoding's*
+  null masks — under both EQ and NEQ semantics a null FK value
+  references nothing, matching SQL ``FOREIGN KEY`` semantics, and two
+  nulls never witness an inclusion.
+
+A **join path** is a sequence of table names in which every consecutive
+pair is connected by a foreign-key edge (traversed in either
+direction); :meth:`SchemaGraph.resolve_path` validates one into the
+step list :mod:`repro.multitable.provenance` executes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..covers.implication import ImplicationEngine
+from ..normalize.keys import minimize_superkey
+from ..partitions.stripped import StrippedPartition
+from ..relational import attrset
+from ..relational.attrset import AttrSet
+from ..relational.fd import FD
+from ..relational.null import NullSemantics
+from ..relational.relation import Relation
+from ..ucc.discovery import discover_uccs
+
+
+class MultitableError(ValueError):
+    """A malformed schema graph, key, foreign key, or join path."""
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A directed foreign-key edge ``child[child_columns] -> parent[parent_columns]``."""
+
+    child: str
+    child_columns: Tuple[str, ...]
+    parent: str
+    parent_columns: Tuple[str, ...]
+
+    def format(self) -> str:
+        return (
+            f"{self.child}({', '.join(self.child_columns)}) -> "
+            f"{self.parent}({', '.join(self.parent_columns)})"
+        )
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "child": self.child,
+            "child_columns": list(self.child_columns),
+            "parent": self.parent,
+            "parent_columns": list(self.parent_columns),
+        }
+
+
+@dataclass(frozen=True)
+class InclusionReport:
+    """Outcome of one inclusion-dependency test (child FK ⊆ parent key).
+
+    ``null_rows`` are child rows with a null in any FK column: they
+    reference nothing under either null semantics (SQL ``FOREIGN KEY``
+    behaviour), so they count toward neither coverage nor violation.
+    ``dangling_rows`` carry a fully non-null FK value that appears in
+    no parent row.
+    """
+
+    total_rows: int
+    null_rows: int
+    covered_rows: int
+    dangling_rows: int
+
+    @property
+    def satisfied(self) -> bool:
+        """True iff every non-null child FK value exists in the parent."""
+        return self.dangling_rows == 0
+
+    @property
+    def coverage(self) -> float:
+        """Covered share of non-null child rows (1.0 when none exist)."""
+        non_null = self.total_rows - self.null_rows
+        if non_null <= 0:
+            return 1.0
+        return self.covered_rows / non_null
+
+
+def _non_null_key_tuples(
+    relation: Relation, attrs: Sequence[int]
+) -> Dict[Tuple[object, ...], int]:
+    """Map each fully non-null value tuple over ``attrs`` to its first row.
+
+    Works on the encoded columns: a row participates only when every
+    component's ``null_mask`` bit is clear, so EQ's shared null code and
+    NEQ's fresh-per-occurrence codes are treated identically — a null
+    never matches anything.
+    """
+    columns = [relation.column(a) for a in attrs]
+    out: Dict[Tuple[object, ...], int] = {}
+    for row in range(relation.n_rows):
+        if any(col.null_mask[row] for col in columns):
+            continue
+        key = tuple(col.decode(int(col.codes[row])) for col in columns)
+        if key not in out:
+            out[key] = row
+    return out
+
+
+def inclusion_coverage(
+    child: Relation,
+    child_attrs: Sequence[int],
+    parent: Relation,
+    parent_attrs: Sequence[int],
+) -> InclusionReport:
+    """Test the inclusion dependency ``child[child_attrs] ⊆ parent[parent_attrs]``.
+
+    Null semantics are handled consistently with the DIIS encoding:
+    membership is decided on decoded values of non-null rows only (the
+    per-column ``null_mask``, not code equality), so the answer is
+    identical under EQ and NEQ encodings of the same data.
+    """
+    if len(child_attrs) != len(parent_attrs):
+        raise MultitableError(
+            f"inclusion arity mismatch: {len(child_attrs)} child vs "
+            f"{len(parent_attrs)} parent columns"
+        )
+    parent_keys = _non_null_key_tuples(parent, parent_attrs)
+    columns = [child.column(a) for a in child_attrs]
+    null_rows = covered = dangling = 0
+    for row in range(child.n_rows):
+        if any(col.null_mask[row] for col in columns):
+            null_rows += 1
+            continue
+        key = tuple(col.decode(int(col.codes[row])) for col in columns)
+        if key in parent_keys:
+            covered += 1
+        else:
+            dangling += 1
+    return InclusionReport(
+        total_rows=child.n_rows,
+        null_rows=null_rows,
+        covered_rows=covered,
+        dangling_rows=dangling,
+    )
+
+
+@dataclass(frozen=True)
+class JoinStep:
+    """One edge traversal of a join path.
+
+    ``forward`` steps go child → parent (many-to-one: each join row
+    picks up at most one parent row); ``expand`` steps go parent →
+    child (one-to-many: each join row fans out over the referencing
+    child rows).
+    """
+
+    fk: ForeignKey
+    #: "forward" (child -> parent) or "expand" (parent -> child).
+    direction: str
+
+    @property
+    def source(self) -> str:
+        return self.fk.child if self.direction == "forward" else self.fk.parent
+
+    @property
+    def target(self) -> str:
+        return self.fk.parent if self.direction == "forward" else self.fk.child
+
+
+class SchemaGraph:
+    """Named relations plus their key and foreign-key structure."""
+
+    def __init__(self, semantics: Optional[NullSemantics] = None):
+        self.semantics = semantics
+        self._tables: Dict[str, Relation] = {}
+        self._keys: Dict[str, List[AttrSet]] = {}
+        self._fks: List[ForeignKey] = []
+
+    # ------------------------------------------------------------------
+    # Tables and keys
+    # ------------------------------------------------------------------
+
+    @property
+    def tables(self) -> Dict[str, Relation]:
+        return dict(self._tables)
+
+    @property
+    def foreign_keys(self) -> List[ForeignKey]:
+        return list(self._fks)
+
+    def table(self, name: str) -> Relation:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise MultitableError(f"unknown table {name!r}") from None
+
+    def add_table(
+        self,
+        name: str,
+        relation: Relation,
+        key: Optional[Sequence[str]] = None,
+        max_key_arity: int = 3,
+    ) -> List[AttrSet]:
+        """Register a table; returns its candidate keys.
+
+        A declared ``key`` is validated for uniqueness with a stripped
+        partition and minimized through
+        :func:`~repro.normalize.keys.minimize_superkey` over the FDs
+        induced by the table's bounded minimal UCCs; with no declared
+        key the bounded UCCs *are* the keys.
+        """
+        if not name or "." in name or "/" in name:
+            raise MultitableError(
+                f"table name must be non-empty and contain no '.' or '/', got {name!r}"
+            )
+        if name in self._tables:
+            raise MultitableError(f"table {name!r} already registered")
+        if self.semantics is None:
+            self.semantics = relation.semantics
+        elif relation.semantics is not self.semantics:
+            raise MultitableError(
+                f"table {name!r} uses {relation.semantics.value!r} null semantics "
+                f"but the graph uses {self.semantics.value!r}"
+            )
+        n_cols = relation.n_cols
+        inferred = discover_uccs(relation, max_arity=max_key_arity).uccs
+        if key is not None:
+            declared = attrset.from_attrs(
+                relation.schema.resolve(c) for c in key
+            )
+            if not StrippedPartition.for_attrs(relation, declared).is_key():
+                raise MultitableError(
+                    f"declared key ({', '.join(key)}) of table {name!r} "
+                    "does not uniquely identify its rows"
+                )
+            # Minimize through the implication engine over the FDs the
+            # bounded UCCs induce (every UCC determines the whole
+            # schema); when the declared key exceeds the arity bound
+            # the engine may not shrink it — it is still a valid key.
+            ucc_fds = [
+                FD(ucc, attrset.singleton(attr))
+                for ucc in inferred
+                for attr in range(n_cols)
+                if not attrset.contains(ucc, attr)
+            ]
+            engine = ImplicationEngine(ucc_fds)
+            minimized = minimize_superkey(declared, n_cols, engine)
+            if not StrippedPartition.for_attrs(relation, minimized).is_key():
+                minimized = declared  # implication engine was too coarse
+            keys = [minimized]
+        else:
+            keys = sorted(inferred)
+            if not keys or keys == [attrset.EMPTY]:
+                keys = [attrset.full_set(n_cols)] if n_cols else []
+        self._tables[name] = relation
+        self._keys[name] = keys
+        return list(keys)
+
+    def keys(self, name: str) -> List[AttrSet]:
+        """Candidate keys of a table (declared-minimized or inferred)."""
+        self.table(name)
+        return list(self._keys[name])
+
+    def primary_key(self, name: str) -> Tuple[str, ...]:
+        """Column names of the table's first candidate key."""
+        relation = self.table(name)
+        keys = self._keys[name]
+        if not keys:
+            raise MultitableError(f"table {name!r} has no key")
+        return tuple(
+            relation.schema.names[a] for a in attrset.to_list(keys[0])
+        )
+
+    # ------------------------------------------------------------------
+    # Foreign keys
+    # ------------------------------------------------------------------
+
+    def _resolve_columns(self, name: str, columns: Sequence[str]) -> Tuple[int, ...]:
+        relation = self.table(name)
+        try:
+            return tuple(relation.schema.resolve(c) for c in columns)
+        except Exception as exc:
+            raise MultitableError(
+                f"table {name!r} has no column(s) {list(columns)}: {exc}"
+            ) from None
+
+    def add_foreign_key(
+        self,
+        child: str,
+        child_columns: Sequence[str],
+        parent: str,
+        parent_columns: Optional[Sequence[str]] = None,
+        require_inclusion: bool = True,
+    ) -> ForeignKey:
+        """Declare ``child[child_columns] -> parent[parent_columns]``.
+
+        The parent side must uniquely identify the parent's rows.  With
+        ``require_inclusion`` (default) a dangling child value is an
+        error; pass ``False`` for dirty data — the discovery layer's
+        ``on_dangling`` policy then decides per join what happens to
+        the violating rows.
+        """
+        if parent_columns is None:
+            parent_columns = self.primary_key(parent)
+        child_attrs = self._resolve_columns(child, child_columns)
+        parent_attrs = self._resolve_columns(parent, parent_columns)
+        if len(child_attrs) != len(parent_attrs):
+            raise MultitableError(
+                f"foreign key arity mismatch: {len(child_attrs)} child vs "
+                f"{len(parent_attrs)} parent columns"
+            )
+        parent_mask = attrset.from_attrs(parent_attrs)
+        if not StrippedPartition.for_attrs(self.table(parent), parent_mask).is_key():
+            raise MultitableError(
+                f"foreign key target {parent}({', '.join(parent_columns)}) "
+                "is not unique — the referenced columns must form a key"
+            )
+        report = inclusion_coverage(
+            self.table(child), child_attrs, self.table(parent), parent_attrs
+        )
+        if require_inclusion and not report.satisfied:
+            raise MultitableError(
+                f"inclusion violated: {report.dangling_rows} dangling row(s) in "
+                f"{child}({', '.join(child_columns)}) not covered by "
+                f"{parent}({', '.join(parent_columns)}) "
+                "(pass require_inclusion=False for dirty data)"
+            )
+        fk = ForeignKey(
+            child=child,
+            child_columns=tuple(child_columns),
+            parent=parent,
+            parent_columns=tuple(parent_columns),
+        )
+        if fk not in self._fks:
+            self._fks.append(fk)
+        return fk
+
+    def infer_foreign_keys(self) -> List[ForeignKey]:
+        """Infer unary foreign keys by exact inclusion testing.
+
+        For every single-column key of every table, any column of any
+        *other* table whose non-null values are fully included becomes a
+        foreign-key edge.  Deterministic order: sorted by (child table,
+        child column, parent table).
+        """
+        added: List[ForeignKey] = []
+        candidates: List[Tuple[str, str, str, str]] = []
+        for parent in sorted(self._tables):
+            parent_rel = self._tables[parent]
+            unary_keys = [
+                attrset.to_list(k)[0]
+                for k in self._keys[parent]
+                if attrset.count(k) == 1
+            ]
+            for key_attr in unary_keys:
+                parent_col = parent_rel.schema.names[key_attr]
+                for child in sorted(self._tables):
+                    if child == parent:
+                        continue
+                    for child_col in self._tables[child].schema.names:
+                        candidates.append((child, child_col, parent, parent_col))
+        for child, child_col, parent, parent_col in sorted(candidates):
+            fk = ForeignKey(child, (child_col,), parent, (parent_col,))
+            if fk in self._fks:
+                continue
+            report = inclusion_coverage(
+                self.table(child),
+                self._resolve_columns(child, (child_col,)),
+                self.table(parent),
+                self._resolve_columns(parent, (parent_col,)),
+            )
+            # An all-null column is vacuously included in everything;
+            # demand at least one covered row so the edge means something.
+            if report.satisfied and report.covered_rows > 0:
+                self._fks.append(fk)
+                added.append(fk)
+        return added
+
+    # ------------------------------------------------------------------
+    # Join paths
+    # ------------------------------------------------------------------
+
+    def resolve_path(self, path: Sequence[str]) -> List[JoinStep]:
+        """Validate a join path into its ordered edge traversals.
+
+        Every consecutive pair of tables must be connected by a
+        foreign-key edge; the edge is traversed child → parent
+        (``forward``) or parent → child (``expand``) as needed.  With
+        several connecting edges the lexicographically first is used.
+        """
+        names = [str(p) for p in path]
+        if len(names) < 2:
+            raise MultitableError(
+                f"a join path needs at least two tables, got {names}"
+            )
+        if len(set(names)) != len(names):
+            raise MultitableError(f"join path repeats a table: {names}")
+        for name in names:
+            self.table(name)
+        steps: List[JoinStep] = []
+        for source, target in zip(names, names[1:]):
+            forward = sorted(
+                (fk for fk in self._fks if fk.child == source and fk.parent == target),
+                key=lambda fk: (fk.child_columns, fk.parent_columns),
+            )
+            expand = sorted(
+                (fk for fk in self._fks if fk.child == target and fk.parent == source),
+                key=lambda fk: (fk.child_columns, fk.parent_columns),
+            )
+            if forward:
+                steps.append(JoinStep(fk=forward[0], direction="forward"))
+            elif expand:
+                steps.append(JoinStep(fk=expand[0], direction="expand"))
+            else:
+                raise MultitableError(
+                    f"no foreign-key edge connects {source!r} and {target!r}"
+                )
+        return steps
+
+    # ------------------------------------------------------------------
+    # Identity / description
+    # ------------------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """Stable SHA-256 over table contents, keys and FK edges.
+
+        Table *names* participate (they name the lifted columns), so
+        two graphs over identical relations under different aliases are
+        distinct — their join-FD results print differently.
+        """
+        digest = hashlib.sha256()
+        digest.update(b"repro-schema-graph-v1")
+        if self.semantics is not None:
+            digest.update(self.semantics.value.encode("utf-8"))
+        for name in sorted(self._tables):
+            digest.update(b"\x00" + name.encode("utf-8"))
+            digest.update(self._tables[name].fingerprint().encode("ascii"))
+            for key in self._keys[name]:
+                digest.update(b"\x01" + str(key).encode("ascii"))
+        for fk in sorted(
+            self._fks,
+            key=lambda f: (f.child, f.child_columns, f.parent, f.parent_columns),
+        ):
+            digest.update(b"\x02" + fk.format().encode("utf-8"))
+        return digest.hexdigest()
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-friendly summary (service listings, CLI output)."""
+        tables = {}
+        for name in sorted(self._tables):
+            relation = self._tables[name]
+            tables[name] = {
+                "n_rows": relation.n_rows,
+                "n_cols": relation.n_cols,
+                "columns": relation.schema.names,
+                "keys": [
+                    [relation.schema.names[a] for a in attrset.to_list(key)]
+                    for key in self._keys[name]
+                ],
+            }
+        return {
+            "fingerprint": self.fingerprint(),
+            "semantics": self.semantics.value if self.semantics else None,
+            "tables": tables,
+            "foreign_keys": [fk.to_payload() for fk in self._fks],
+        }

@@ -36,6 +36,7 @@ from .client import ServiceClient, ServiceError
 from .config import ConfigError, JobConfig
 from .registry import DatasetEntry, DatasetRegistry, UnknownDatasetError
 from .scheduler import Job, JobCancelled, JobScheduler, SchedulerDraining, UnknownJobError
+from .schemas import SchemaEntry, SchemaIndex, UnknownSchemaError
 from .server import ServiceHTTPServer, make_server, start_in_thread
 from .store import ResultStore
 
@@ -50,11 +51,14 @@ __all__ = [
     "JobScheduler",
     "ResultStore",
     "SchedulerDraining",
+    "SchemaEntry",
+    "SchemaIndex",
     "ServiceClient",
     "ServiceError",
     "ServiceHTTPServer",
     "UnknownDatasetError",
     "UnknownJobError",
+    "UnknownSchemaError",
     "make_server",
     "start_in_thread",
 ]

@@ -39,12 +39,53 @@ from ..relational.fd import FDSet
 from ..relational.io import read_csv_text
 from ..relational.relation import Relation
 from ..core.base import default_checkpoint_interval
+from ..multitable.discovery import fd_scope, fd_tables
+from ..multitable.provenance import attribute_tables, build_provenance, lift_relation
 from ..telemetry import MetricsRegistry, Tracer, trace_summary, use_tracer
-from .config import JobConfig
+from .config import ConfigError, JobConfig
 from .journal import WAL_FILENAME, JobJournal, journal_enabled_by_env
 from .registry import DatasetEntry, DatasetRegistry, UnknownDatasetError
 from .scheduler import Job, JobCancelled, JobScheduler
+from .schemas import SchemaEntry, SchemaIndex, UnknownSchemaError
 from .store import ResultStore
+
+
+class _VirtualJoin:
+    """Duck-typed :class:`DatasetEntry` over a schema's virtual join.
+
+    ``fingerprint`` is the schema graph's content fingerprint — known
+    without touching any rows — while the config's ``join_path`` and
+    ``on_dangling`` ride in the cache key's config part, so two paths
+    (or policies) over one schema never share a cover.  Provenance and
+    the lifted relation are built once, on first ``.relation`` access,
+    which a cover cache hit in ``_discover_with_cache`` never performs.
+    """
+
+    def __init__(self, entry: SchemaEntry, config: JobConfig):
+        self.entry = entry
+        self.config = config
+        self.fingerprint = entry.fingerprint
+        self._provenance = None
+        self._relation: Optional[Relation] = None
+
+    @property
+    def provenance(self):
+        if self._provenance is None:
+            self._provenance = build_provenance(
+                self.entry.graph,
+                self.config.join_path,
+                on_dangling=self.config.on_dangling or "raise",
+                backend=self.config.backend,
+            )
+        return self._provenance
+
+    @property
+    def relation(self) -> Relation:
+        if self._relation is None:
+            self._relation = lift_relation(
+                self.entry.graph, self.provenance, backend=self.config.backend
+            )
+        return self._relation
 
 
 class FDService:
@@ -83,6 +124,14 @@ class FDService:
         self.registry = DatasetRegistry(
             store=self.store, count=self._count, persist_dir=dataset_dir
         )
+        # Multi-table schema declarations over registered datasets
+        # (persisted beside covers: schemas only reference dataset
+        # fingerprints, so they reload after the registry does).
+        self.schemas = SchemaIndex(
+            self.registry,
+            count=self._count,
+            persist_dir=(Path(store_dir) / "schemas") if store_dir is not None else None,
+        )
         self.checkpoint_interval = (
             default_checkpoint_interval()
             if checkpoint_interval is None
@@ -114,10 +163,16 @@ class FDService:
             )
 
     def _dataset_known(self, fingerprint: str) -> bool:
+        """A recovered job's target still exists (dataset *or* schema)."""
         try:
             self.registry.resolve(fingerprint)
             return True
         except UnknownDatasetError:
+            pass
+        try:
+            self.schemas.resolve(fingerprint)
+            return True
+        except UnknownSchemaError:
             return False
 
     def _stored_result(
@@ -167,6 +222,33 @@ class FDService:
         return self.registry.append(ref, rows)
 
     # ------------------------------------------------------------------
+    # Schemas (multi-table discovery — see repro.multitable)
+    # ------------------------------------------------------------------
+
+    def register_schema(
+        self,
+        name: Optional[str],
+        tables: Dict[str, str],
+        keys: Optional[Dict[str, Sequence[str]]] = None,
+        foreign_keys: Optional[Sequence[Dict[str, object]]] = None,
+        infer_fks: bool = False,
+        require_inclusion: bool = False,
+    ) -> SchemaEntry:
+        """Declare a multi-table schema over registered datasets.
+
+        Idempotent by graph fingerprint; see
+        :meth:`~repro.service.schemas.SchemaIndex.register`.
+        """
+        return self.schemas.register(
+            name,
+            tables,
+            keys=keys,
+            foreign_keys=foreign_keys,
+            infer_fks=infer_fks,
+            require_inclusion=require_inclusion,
+        )
+
+    # ------------------------------------------------------------------
     # Jobs
     # ------------------------------------------------------------------
 
@@ -186,7 +268,16 @@ class FDService:
         """
         if not isinstance(config, JobConfig):
             config = JobConfig.from_dict(config)
-        fingerprint = self.registry.resolve(dataset)
+        if kind == "multitable":
+            entry = self.schemas.get(dataset)
+            if config.join_path is None:
+                raise ConfigError("multitable jobs need a 'join_path' in the config")
+            # Validate the path at submit time (HTTP 400), not in the
+            # worker (job 'failed'): MultitableError is a ValueError.
+            entry.graph.resolve_path(config.join_path)
+            fingerprint = entry.fingerprint
+        else:
+            fingerprint = self.registry.resolve(dataset)
         return self.scheduler.submit(
             fingerprint, kind, config, priority=priority,
             idempotency_key=idempotency_key,
@@ -214,11 +305,25 @@ class FDService:
         job = self.submit(dataset, "rank", config, priority=priority)
         return self.scheduler.wait(job.job_id, timeout=timeout)
 
+    def multitable(
+        self,
+        schema: str,
+        config: Optional[Union[JobConfig, Dict[str, object]]] = None,
+        priority: int = 0,
+        timeout: Optional[float] = None,
+    ) -> Job:
+        """Convenience: submit a multitable job and wait for it."""
+        job = self.submit(schema, "multitable", config, priority=priority)
+        return self.scheduler.wait(job.job_id, timeout=timeout)
+
     # ------------------------------------------------------------------
     # Job execution (runs on scheduler worker threads)
     # ------------------------------------------------------------------
 
     def _execute(self, job: Job) -> None:
+        if job.kind == "multitable":
+            self._execute_multitable(job)
+            return
         entry = self.registry.get(job.dataset)
         if job.cancel_requested:
             raise JobCancelled("cancelled before start")
@@ -250,6 +355,70 @@ class FDService:
                         }
                         for ranked in ranking.ranked
                     ]
+        job.trace = trace_summary(tracer)
+
+    def _execute_multitable(self, job: Job) -> None:
+        """Run one multitable job: lift, discover (cached), rank, tag.
+
+        Reuses the exact single-relation cache/single-flight machinery:
+        the virtual join is presented to :meth:`_discover_with_cache`
+        as a duck-typed dataset whose fingerprint is the schema graph's
+        — available without lifting — and whose relation lifts lazily,
+        so a cover cache hit never rebuilds provenance for discovery
+        (only the ranking pass touches the rows).  The join is never
+        materialized: the cover comes out of the lifted codes, which
+        are byte-identical to the materialized join's (see
+        :mod:`repro.multitable.provenance`).
+        """
+        entry = self.schemas.get(job.dataset)
+        if job.cancel_requested:
+            raise JobCancelled("cancelled before start")
+        config = job.config
+        tracer = Tracer()
+        with use_tracer(tracer):
+            with tracer.span("service.job", job_id=job.job_id, kind=job.kind):
+                provider = _VirtualJoin(entry, config)
+                # The full cover is discovered and cached (a top_k only
+                # bounds the ranking below), mirroring "rank" jobs.
+                result = self._discover_with_cache(
+                    job, provider, config=config.without_top_k()
+                )
+                job.result = result
+                relation = provider.relation
+                provenance = provider.provenance
+                owners = attribute_tables(entry.graph, provenance.tables)
+                ranking = rank_cover(
+                    relation,
+                    canonical_cover(result.fds),
+                    top_k=config.top_k,
+                    jobs=config.jobs,
+                )
+                job.ranking = [
+                    {
+                        "fd": ranked.fd.format(relation.schema),
+                        "redundancy": ranked.redundancy,
+                        "redundancy_excluding_null": ranked.redundancy_excluding_null,
+                        "scope": fd_scope(ranked.fd, owners),
+                        "tables": list(fd_tables(ranked.fd, owners)),
+                    }
+                    for ranked in ranking.ranked
+                ]
+                job.multitable = {
+                    "schema": entry.fingerprint,
+                    "name": entry.name,
+                    "path": list(provenance.tables),
+                    "on_dangling": provenance.policy,
+                    "n_join_rows": provenance.n_rows,
+                    "dropped_rows": provenance.dropped_rows,
+                    "padded_cells": provenance.padded_cells,
+                    "columns": relation.schema.names,
+                    "intra_count": sum(
+                        1 for e in job.ranking if e["scope"] == "intra"
+                    ),
+                    "inter_count": sum(
+                        1 for e in job.ranking if e["scope"] == "inter"
+                    ),
+                }
         job.trace = trace_summary(tracer)
 
     def _discover_with_cache(

@@ -201,14 +201,25 @@ class ServiceClient:
     # ------------------------------------------------------------------
 
     def upload_csv(
-        self, csv_text: str, name: Optional[str] = None, semantics: str = "eq"
+        self,
+        csv_text: str,
+        name: Optional[str] = None,
+        semantics: str = "eq",
+        colocate_with: Optional[str] = None,
     ) -> Dict[str, object]:
-        """Upload CSV text; returns the dataset description (fingerprint...)."""
-        return self._request(
-            "POST",
-            "/datasets",
-            {"csv": csv_text, "name": name, "semantics": semantics},
-        )
+        """Upload CSV text; returns the dataset description (fingerprint...).
+
+        ``colocate_with`` names a dataset whose shard this upload should
+        land on (cluster routing hint; replicas ignore it) — required
+        when the tables of one multi-table schema would otherwise hash
+        to different shards.
+        """
+        payload: Dict[str, object] = {
+            "csv": csv_text, "name": name, "semantics": semantics,
+        }
+        if colocate_with is not None:
+            payload["colocate_with"] = colocate_with
+        return self._request("POST", "/datasets", payload)
 
     def upload_rows(
         self,
@@ -216,21 +227,25 @@ class ServiceClient:
         rows: Sequence[Sequence[object]],
         name: Optional[str] = None,
         semantics: str = "eq",
+        colocate_with: Optional[str] = None,
     ) -> Dict[str, object]:
-        """Upload a relation as columns + row tuples (nulls become None)."""
+        """Upload a relation as columns + row tuples (nulls become None).
+
+        ``colocate_with`` is the same cluster routing hint as on
+        :meth:`upload_csv`.
+        """
         encoded = [
             [None if is_null(value) else value for value in row] for row in rows
         ]
-        return self._request(
-            "POST",
-            "/datasets",
-            {
-                "columns": list(columns),
-                "rows": encoded,
-                "name": name,
-                "semantics": semantics,
-            },
-        )
+        payload: Dict[str, object] = {
+            "columns": list(columns),
+            "rows": encoded,
+            "name": name,
+            "semantics": semantics,
+        }
+        if colocate_with is not None:
+            payload["colocate_with"] = colocate_with
+        return self._request("POST", "/datasets", payload)
 
     def append(self, dataset: str, rows: Sequence[Sequence[object]]) -> Dict[str, object]:
         """Append rows; returns the new dataset version description.
@@ -252,6 +267,75 @@ class ServiceClient:
     def datasets(self) -> List[Dict[str, object]]:
         """All registered dataset versions."""
         return self._request("GET", "/datasets")["datasets"]
+
+    # ------------------------------------------------------------------
+    # Multi-table schemas (see docs/multitable.md)
+    # ------------------------------------------------------------------
+
+    def register_schema(
+        self,
+        name: Optional[str],
+        tables: Dict[str, str],
+        keys: Optional[Dict[str, Sequence[str]]] = None,
+        foreign_keys: Optional[Sequence[Dict[str, object]]] = None,
+        infer_fks: bool = False,
+    ) -> Dict[str, object]:
+        """Declare a schema over uploaded datasets; returns its description.
+
+        ``tables`` maps table names to dataset names/fingerprints;
+        ``keys`` declares primary keys; ``foreign_keys`` lists edge
+        dicts ``{child, child_columns, parent, parent_columns?}``.
+        Idempotent by graph fingerprint, so retries are safe.
+        """
+        return self._request(
+            "POST",
+            "/multitable/schemas",
+            {
+                "name": name,
+                "tables": dict(tables),
+                "keys": {t: list(k) for t, k in (keys or {}).items()},
+                "foreign_keys": [dict(fk) for fk in (foreign_keys or [])],
+                "infer_fks": infer_fks,
+            },
+        )
+
+    def schemas(self) -> List[Dict[str, object]]:
+        """All registered multi-table schemas."""
+        return self._request("GET", "/multitable/schemas")["schemas"]
+
+    def multitable(
+        self,
+        schema: str,
+        path: Sequence[str],
+        on_dangling: Optional[str] = None,
+        config: Optional[Dict[str, object]] = None,
+        priority: int = 0,
+        timeout: Optional[float] = None,
+        top_k: Optional[int] = None,
+    ) -> Dict[str, object]:
+        """Submit a join-FD job and wait server-side; returns the status.
+
+        The status carries the usual ``result`` cover plus a
+        ``ranking`` whose entries are tagged with per-FD ``scope``
+        (intra/inter) and origin ``tables``, and a ``multitable`` block
+        with the join's provenance stats.
+        """
+        suffix = "" if top_k is None else f"?top_k={int(top_k)}"
+        return self._request(
+            "POST",
+            "/multitable/discover" + suffix,
+            {
+                "schema": schema,
+                "path": list(path),
+                "on_dangling": on_dangling,
+                "config": config or {},
+                "priority": priority,
+                "wait": True,
+                "timeout": timeout,
+            },
+            timeout=timeout,
+            headers={"Idempotency-Key": uuid.uuid4().hex},
+        )
 
     # ------------------------------------------------------------------
     # Jobs

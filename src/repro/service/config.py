@@ -19,6 +19,11 @@ from ..resilience import RunBudget, parse_bytes
 
 _ON_LIMIT_POLICIES = ("raise", "partial")
 
+#: Mirrors :data:`repro.multitable.provenance.POLICIES` without making
+#: the config module (imported by every service piece) pull in the
+#: multitable subsystem; a drift is caught by the service test suite.
+_ON_DANGLING_POLICIES = ("raise", "drop", "pad")
+
 
 class ConfigError(ValueError):
     """Raised for malformed job configurations."""
@@ -37,6 +42,14 @@ class JobConfig:
     part of the cache key — a top-k result must never be served as a
     full cover — but a cached *full* cover may answer a top-k request
     by ranking it (see ``FDService._discover_with_cache``).
+
+    ``join_path`` and ``on_dangling`` apply to ``multitable`` jobs only
+    (see :mod:`repro.multitable`): the join path through the schema
+    graph and the policy for referential violations.  They are
+    dedicated fields — not ``extra`` entries — because ``extra`` is
+    forwarded verbatim to the algorithm constructor, and because both
+    must participate in the cache key (two paths over one schema are
+    different relations).
     """
 
     algorithm: str = "dhyfd"
@@ -46,6 +59,8 @@ class JobConfig:
     memory_budget: Optional[int] = None
     on_limit: str = "raise"
     top_k: Optional[int] = None
+    join_path: Optional[Tuple[str, ...]] = None
+    on_dangling: Optional[str] = None
     extra: Tuple[Tuple[str, object], ...] = ()
 
     def __post_init__(self):
@@ -60,6 +75,15 @@ class JobConfig:
             )
         if self.top_k is not None and self.top_k < 1:
             raise ConfigError(f"top_k must be >= 1, got {self.top_k}")
+        if self.join_path is not None and len(self.join_path) < 2:
+            raise ConfigError(
+                f"join_path needs at least two tables, got {list(self.join_path)}"
+            )
+        if self.on_dangling is not None and self.on_dangling not in _ON_DANGLING_POLICIES:
+            raise ConfigError(
+                f"on_dangling must be one of {_ON_DANGLING_POLICIES}, "
+                f"got {self.on_dangling!r}"
+            )
 
     @classmethod
     def from_dict(cls, data: Optional[Dict[str, object]]) -> "JobConfig":
@@ -80,6 +104,14 @@ class JobConfig:
             top_k = int(top_k) if top_k is not None else None
         except (TypeError, ValueError):
             raise ConfigError(f"top_k must be an integer, got {top_k!r}")
+        join_path = data.pop("join_path", None)
+        if join_path is not None:
+            if isinstance(join_path, str) or not isinstance(join_path, (list, tuple)):
+                raise ConfigError(
+                    f"join_path must be a list of table names, got {join_path!r}"
+                )
+            join_path = tuple(str(name) for name in join_path)
+        on_dangling = data.pop("on_dangling", None)
         return cls(
             algorithm=algorithm,
             jobs=int(jobs) if jobs is not None else None,
@@ -88,6 +120,8 @@ class JobConfig:
             memory_budget=parse_bytes(memory_budget) if memory_budget is not None else None,
             on_limit=on_limit,
             top_k=top_k,
+            join_path=join_path,
+            on_dangling=str(on_dangling) if on_dangling is not None else None,
             extra=tuple(sorted(data.items())),
         )
 
@@ -98,6 +132,10 @@ class JobConfig:
             value = getattr(self, name)
             if value is not None:
                 payload[name] = value
+        if self.join_path is not None:
+            payload["join_path"] = list(self.join_path)
+        if self.on_dangling is not None:
+            payload["on_dangling"] = self.on_dangling
         payload.update(dict(self.extra))
         return payload
 

@@ -84,7 +84,7 @@ class Job:
         self.job_id = job_id
         #: Dataset fingerprint the job runs against.
         self.dataset = dataset
-        #: ``"discover"`` or ``"rank"``.
+        #: ``"discover"``, ``"rank"`` or ``"multitable"``.
         self.kind = kind
         self.config = config
         self.priority = priority
@@ -94,6 +94,8 @@ class Job:
         self.ranking: Optional[List[Dict[str, object]]] = None
         #: True when the result came from the store, not a fresh run.
         self.cached = False
+        #: Join summary for ``multitable`` jobs (None otherwise).
+        self.multitable: Optional[Dict[str, object]] = None
         self.error: Optional[str] = None
         self.cancel_requested = False
         self.submitted_at = time.time()
@@ -136,6 +138,8 @@ class Job:
             payload["result"] = self.result.to_payload()
         if self.ranking is not None:
             payload["ranking"] = self.ranking
+        if self.multitable is not None:
+            payload["multitable"] = self.multitable
         if self.trace is not None:
             payload["trace"] = self.trace
         return payload
@@ -202,8 +206,10 @@ class JobScheduler:
         seen (including across restarts, via the journal) returns the
         original job instead of queueing a duplicate.
         """
-        if kind not in ("discover", "rank"):
-            raise ValueError(f"job kind must be 'discover' or 'rank', got {kind!r}")
+        if kind not in ("discover", "rank", "multitable"):
+            raise ValueError(
+                f"job kind must be 'discover', 'rank' or 'multitable', got {kind!r}"
+            )
         with self._cond:
             if self._stopping:
                 raise RuntimeError("scheduler is shut down")

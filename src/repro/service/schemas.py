@@ -1,0 +1,264 @@
+"""Schema index: named multi-table schemas over registered datasets.
+
+The service-side counterpart of :class:`~repro.multitable.schema.SchemaGraph`:
+a schema is declared over datasets that already live in the
+:class:`~repro.service.registry.DatasetRegistry` (each table is a
+``name -> dataset ref`` binding), so uploading the base tables and
+declaring the join structure are separate, individually idempotent
+steps.  Schemas are keyed by the graph's content fingerprint — a
+re-declaration of the same tables/keys/edges lands on the same entry —
+with human-friendly names as aliases, mirroring the dataset registry.
+
+With a ``persist_dir`` the index mirrors every schema to one JSON file
+holding dataset *fingerprints* (not rows) and rebuilds the graphs from
+the co-persisted dataset registry on restart, so a recovered replica
+still answers ``/multitable`` jobs for its shard.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from ..multitable.schema import SchemaGraph
+from .registry import DatasetRegistry, UnknownDatasetError
+from .store import _noop_count
+
+
+class UnknownSchemaError(KeyError):
+    """Raised when a schema name or fingerprint resolves to nothing."""
+
+    def __init__(self, ref: str):
+        super().__init__(f"unknown schema {ref!r}")
+        self.ref = ref
+
+
+@dataclass
+class SchemaEntry:
+    """One registered schema graph and how it was declared."""
+
+    fingerprint: str
+    graph: SchemaGraph
+    #: table name -> dataset fingerprint of its base relation.
+    tables: Dict[str, str]
+    #: declared keys (table -> column names), as supplied by the caller.
+    keys: Dict[str, List[str]]
+    name: Optional[str] = None
+    #: True when :meth:`SchemaGraph.infer_foreign_keys` ran at register.
+    inferred_fks: bool = False
+    registered_at: float = field(default_factory=time.time)
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-friendly summary for listings and HTTP responses."""
+        payload = self.graph.describe()
+        payload["name"] = self.name
+        payload["datasets"] = dict(self.tables)
+        payload["inferred_fks"] = self.inferred_fks
+        return payload
+
+
+class SchemaIndex:
+    """Thread-safe fingerprint-keyed collection of schema graphs."""
+
+    def __init__(
+        self,
+        registry: DatasetRegistry,
+        count: Callable[..., None] = _noop_count,
+        persist_dir: Optional[Union[str, Path]] = None,
+    ):
+        """Args:
+            registry: dataset registry the table bindings resolve in.
+            count: metrics hook ``count(name, amount=1)``.
+            persist_dir: mirror schema declarations to JSON files here
+                and reload on construction (requires the registry to be
+                loaded first — schemas reference its datasets).
+        """
+        self._lock = threading.RLock()
+        self._registry = registry
+        self._count = count
+        self._by_fingerprint: Dict[str, SchemaEntry] = {}
+        self._by_name: Dict[str, str] = {}
+        self.persist_dir = Path(persist_dir) if persist_dir is not None else None
+        if self.persist_dir is not None:
+            self.persist_dir.mkdir(parents=True, exist_ok=True)
+            self._load()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._by_fingerprint)
+
+    def register(
+        self,
+        name: Optional[str],
+        tables: Dict[str, str],
+        keys: Optional[Dict[str, Sequence[str]]] = None,
+        foreign_keys: Optional[Sequence[Dict[str, object]]] = None,
+        infer_fks: bool = False,
+        require_inclusion: bool = False,
+    ) -> SchemaEntry:
+        """Declare a schema over registered datasets (idempotent).
+
+        Args:
+            name: optional alias (latest declaration wins the name).
+            tables: ``table name -> dataset name-or-fingerprint``.
+            keys: declared primary keys per table (validated against
+                the data; tables without one get inferred UCC keys).
+            foreign_keys: edge dicts ``{child, child_columns, parent,
+                parent_columns?}``; the parent side defaults to the
+                parent's primary key.
+            infer_fks: additionally run unary FK inference.
+            require_inclusion: make a dangling declared-FK value an
+                error at declaration time (default tolerates dirt and
+                defers to the job's ``on_dangling`` policy).
+        """
+        if not tables:
+            raise ValueError("a schema needs at least one table")
+        keys = dict(keys or {})
+        resolved: Dict[str, str] = {}
+        graph = SchemaGraph()
+        for table_name in sorted(tables):
+            fingerprint = self._registry.resolve(str(tables[table_name]))
+            resolved[table_name] = fingerprint
+            graph.add_table(
+                table_name,
+                self._registry.get(fingerprint).relation,
+                key=keys.get(table_name),
+            )
+        for fk in foreign_keys or ():
+            graph.add_foreign_key(
+                str(fk["child"]),
+                [str(c) for c in fk["child_columns"]],
+                str(fk["parent"]),
+                (
+                    [str(c) for c in fk["parent_columns"]]
+                    if fk.get("parent_columns")
+                    else None
+                ),
+                require_inclusion=require_inclusion,
+            )
+        if infer_fks:
+            graph.infer_foreign_keys()
+        entry = SchemaEntry(
+            fingerprint=graph.fingerprint(),
+            graph=graph,
+            tables=resolved,
+            keys={t: list(k) for t, k in keys.items()},
+            name=name,
+            inferred_fks=bool(infer_fks),
+        )
+        with self._lock:
+            existing = self._by_fingerprint.get(entry.fingerprint)
+            if existing is None:
+                self._by_fingerprint[entry.fingerprint] = entry
+                self._count("service.schemas.registered")
+                self._persist(entry)
+            else:
+                self._count("service.schemas.duplicate_registrations")
+                if name and not existing.name:
+                    existing.name = name
+                entry = existing
+            if name:
+                self._by_name[name] = entry.fingerprint
+            return entry
+
+    def resolve(self, ref: str) -> str:
+        """Normalize a schema name or fingerprint to a fingerprint."""
+        with self._lock:
+            if ref in self._by_name:
+                return self._by_name[ref]
+            if ref in self._by_fingerprint:
+                return ref
+        raise UnknownSchemaError(ref)
+
+    def get(self, ref: str) -> SchemaEntry:
+        """Look up a schema by name or fingerprint."""
+        with self._lock:
+            return self._by_fingerprint[self.resolve(ref)]
+
+    def list(self) -> List[Dict[str, object]]:
+        """Summaries of every registered schema."""
+        with self._lock:
+            entries = sorted(
+                self._by_fingerprint.values(), key=lambda e: e.registered_at
+            )
+            return [entry.describe() for entry in entries]
+
+    # ------------------------------------------------------------------
+    # Persistence (replica restarts — mirrors DatasetRegistry)
+    # ------------------------------------------------------------------
+
+    def _persist(self, entry: SchemaEntry) -> None:
+        if self.persist_dir is None:
+            return
+        payload = {
+            "format": "repro-fd-schema",
+            "version": 1,
+            "fingerprint": entry.fingerprint,
+            "name": entry.name,
+            "registered_at": entry.registered_at,
+            "tables": entry.tables,
+            "keys": entry.keys,
+            "foreign_keys": [fk.to_payload() for fk in entry.graph.foreign_keys],
+            "inferred_fks": entry.inferred_fks,
+        }
+        from .journal import atomic_write_text
+
+        path = self.persist_dir / f"{entry.fingerprint[:32]}.json"
+        atomic_write_text(path, json.dumps(payload) + "\n")
+
+    def _load(self) -> None:
+        """Rebuild persisted schemas from the (already loaded) registry.
+
+        Every FK edge was validated at declaration time, so the rebuild
+        re-declares with ``require_inclusion=False``; a schema whose
+        dataset is gone — or whose rebuilt fingerprint no longer matches
+        the recorded one — is skipped, never trusted.
+        """
+        loaded: List[SchemaEntry] = []
+        for path in sorted(self.persist_dir.glob("*.json")):
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+                if payload.get("format") != "repro-fd-schema":
+                    continue
+                graph = SchemaGraph()
+                tables = dict(payload["tables"])
+                keys = {t: list(k) for t, k in dict(payload.get("keys") or {}).items()}
+                for table_name in sorted(tables):
+                    graph.add_table(
+                        table_name,
+                        self._registry.get(str(tables[table_name])).relation,
+                        key=keys.get(table_name),
+                    )
+                for fk in payload.get("foreign_keys") or ():
+                    graph.add_foreign_key(
+                        str(fk["child"]),
+                        [str(c) for c in fk["child_columns"]],
+                        str(fk["parent"]),
+                        [str(c) for c in fk["parent_columns"]],
+                        require_inclusion=False,
+                    )
+                if graph.fingerprint() != payload["fingerprint"]:
+                    raise ValueError("fingerprint mismatch")
+                loaded.append(
+                    SchemaEntry(
+                        fingerprint=payload["fingerprint"],
+                        graph=graph,
+                        tables=tables,
+                        keys=keys,
+                        name=payload.get("name"),
+                        inferred_fks=bool(payload.get("inferred_fks")),
+                        registered_at=float(payload.get("registered_at") or 0.0),
+                    )
+                )
+            except (ValueError, KeyError, TypeError, OSError, UnknownDatasetError):
+                self._count("service.schemas.load_errors")
+                continue
+        for entry in sorted(loaded, key=lambda e: e.registered_at):
+            self._by_fingerprint[entry.fingerprint] = entry
+            if entry.name:
+                self._by_name[entry.name] = entry.fingerprint
+        self._count("service.schemas.loaded", len(loaded))

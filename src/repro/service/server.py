@@ -18,6 +18,14 @@ POST     ``/discover``                   ``{dataset, config?, priority?,
                                          the K highest-redundancy FDs
 POST     ``/rank``                       same, plus a ranking in the status
                                          (``?top_k=K`` bounds the ranking)
+GET      ``/multitable/schemas``         registered multi-table schemas
+GET      ``/multitable/schemas/<ref>``   one schema description
+POST     ``/multitable/schemas``         ``{name?, tables, keys?,
+                                         foreign_keys?, infer_fks?}`` →
+                                         schema fingerprint
+POST     ``/multitable/discover``        ``{schema, path, on_dangling?,
+                                         config?, wait?}`` → join-FD job
+                                         (see ``docs/multitable.md``)
 GET      ``/jobs``                       all job statuses (no result bodies)
 GET      ``/jobs/<id>``                  one job status incl. result payload
 POST     ``/jobs/<id>/cancel``           cancel (queued) / request (running)
@@ -41,6 +49,7 @@ from .app import FDService
 from .config import ConfigError
 from .registry import UnknownDatasetError
 from .scheduler import SchedulerDraining, UnknownJobError
+from .schemas import UnknownSchemaError
 
 #: Upload size ceiling (bytes) — a guardrail, not a quota system.
 MAX_BODY_BYTES = 256 * 1024 * 1024
@@ -115,7 +124,7 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             self._send_json({"error": str(exc)}, status=400)
         except SchedulerDraining as exc:
             self._send_json({"error": str(exc)}, status=503, retry_after=2)
-        except (UnknownDatasetError, UnknownJobError) as exc:
+        except (UnknownDatasetError, UnknownJobError, UnknownSchemaError) as exc:
             self._send_json({"error": str(exc.args[0])}, status=404)
         except Exception as exc:  # noqa: BLE001 — protocol boundary
             self._send_json(
@@ -136,6 +145,10 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             self._dispatch(self._get_datasets)
         elif parts == ["jobs"]:
             self._dispatch(self._get_jobs)
+        elif parts == ["multitable", "schemas"]:
+            self._dispatch(self._get_schemas)
+        elif len(parts) == 3 and parts[:2] == ["multitable", "schemas"]:
+            self._dispatch(self._get_schema, parts[2])
         elif len(parts) == 2 and parts[0] == "jobs":
             self._dispatch(self._get_job, parts[1])
         else:
@@ -153,6 +166,10 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             self._dispatch(self._post_job, "discover", query)
         elif parts == ["rank"]:
             self._dispatch(self._post_job, "rank", query)
+        elif parts == ["multitable", "schemas"]:
+            self._dispatch(self._post_schema)
+        elif parts == ["multitable", "discover"]:
+            self._dispatch(self._post_multitable, query)
         elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "cancel":
             self._dispatch(self._post_cancel, parts[1])
         else:
@@ -210,27 +227,28 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         entry = self.server.service.append_rows(ref, rows)
         self._send_json(entry.describe())
 
-    def _post_job(
-        self, kind: str, query: Optional[Dict[str, List[str]]] = None
+    @staticmethod
+    def _apply_top_k(
+        config: Dict[str, object], query: Optional[Dict[str, List[str]]]
     ) -> None:
-        body = self._read_body()
-        dataset = body.get("dataset")
-        if not dataset:
-            raise BadRequest("job submission needs a 'dataset' reference")
-        config = body.get("config") or {}
-        if "algorithm" in body:
-            config.setdefault("algorithm", body["algorithm"])
+        """Fold ``?top_k=`` into the config, overriding any body value.
+
+        The query param is the outermost request, proxied verbatim by
+        the cluster router.
+        """
         if query and "top_k" in query:
-            # ``?top_k=`` overrides any body-config value: the query
-            # param is the outermost request, proxied verbatim by the
-            # cluster router.
             raw = query["top_k"][-1]
             try:
                 config["top_k"] = int(raw)
             except ValueError:
                 raise BadRequest(f"top_k must be an integer, got {raw!r}") from None
+
+    def _submit_and_respond(
+        self, target: str, kind: str, config: Dict[str, object], body: Dict[str, object]
+    ) -> None:
+        """Queue the job; block for the status when ``wait`` was asked."""
         job = self.server.service.submit(
-            dataset,
+            target,
             kind,
             config,
             priority=int(body.get("priority", 0)),
@@ -246,6 +264,64 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             self._send_json(
                 {"job_id": job.job_id, "status": job.status}, status=202
             )
+
+    def _post_job(
+        self, kind: str, query: Optional[Dict[str, List[str]]] = None
+    ) -> None:
+        body = self._read_body()
+        dataset = body.get("dataset")
+        if not dataset:
+            raise BadRequest("job submission needs a 'dataset' reference")
+        config = body.get("config") or {}
+        if "algorithm" in body:
+            config.setdefault("algorithm", body["algorithm"])
+        self._apply_top_k(config, query)
+        self._submit_and_respond(dataset, kind, config, body)
+
+    def _get_schemas(self) -> None:
+        self._send_json({"schemas": self.server.service.schemas.list()})
+
+    def _get_schema(self, ref: str) -> None:
+        self._send_json(self.server.service.schemas.get(ref).describe())
+
+    def _post_schema(self) -> None:
+        body = self._read_body()
+        tables = body.get("tables")
+        if not isinstance(tables, dict) or not tables:
+            raise BadRequest(
+                "schema registration needs a 'tables' object "
+                "(table name -> dataset name or fingerprint)"
+            )
+        entry = self.server.service.register_schema(
+            body.get("name"),
+            {str(k): str(v) for k, v in tables.items()},
+            keys=body.get("keys"),
+            foreign_keys=body.get("foreign_keys"),
+            infer_fks=bool(body.get("infer_fks")),
+            require_inclusion=bool(body.get("require_inclusion")),
+        )
+        self._send_json(entry.describe(), status=201)
+
+    def _post_multitable(self, query: Optional[Dict[str, List[str]]] = None) -> None:
+        """Submit a join-FD job: like ``/discover`` but against a schema.
+
+        ``path`` and ``on_dangling`` may ride at the top level of the
+        body (the ergonomic spelling) or inside ``config`` as
+        ``join_path``/``on_dangling`` — top level wins.
+        """
+        body = self._read_body()
+        schema = body.get("schema") or body.get("dataset")
+        if not schema:
+            raise BadRequest("multitable discovery needs a 'schema' reference")
+        config = body.get("config") or {}
+        if "algorithm" in body:
+            config.setdefault("algorithm", body["algorithm"])
+        if "path" in body:
+            config["join_path"] = body["path"]
+        if "on_dangling" in body:
+            config["on_dangling"] = body["on_dangling"]
+        self._apply_top_k(config, query)
+        self._submit_and_respond(str(schema), "multitable", config, body)
 
     def _post_cancel(self, job_id: str) -> None:
         status = self.server.service.scheduler.cancel(job_id)

@@ -48,6 +48,8 @@ class UCCResult:
     rounds: int = 0
     validations: int = 0
     sampled_difference_sets: int = 0
+    #: Arity bound the discovery ran under (None = unbounded).
+    max_arity: Optional[int] = None
 
     def format(self) -> List[str]:
         """Human-readable UCC list."""
@@ -58,13 +60,25 @@ def discover_uccs(
     relation: Relation,
     time_limit: Optional[float] = None,
     deadline: Optional[Deadline] = None,
+    max_arity: Optional[int] = None,
 ) -> UCCResult:
     """Find all minimal unique column combinations of ``relation``.
 
     Pass ``deadline`` to share a driver's existing
     :class:`~repro.core.base.Deadline`/``RunContext`` (its budget then
     bounds this pass too); otherwise ``time_limit`` builds a fresh one.
+
+    ``max_arity`` bounds the answer to UCCs of at most that many
+    attributes: wide tables can have exponentially many minimal keys,
+    and callers like :class:`~repro.multitable.SchemaGraph` only care
+    about small ones.  The bound is sound *and* complete below the cut:
+    every minimal UCC with ``<= max_arity`` attributes is returned
+    (a hitting-set candidate under the bound that would shadow it must
+    itself be a unique subset, contradicting the UCC's minimality),
+    and none above it ever validates a partition.
     """
+    if max_arity is not None and max_arity < 1:
+        raise ValueError(f"max_arity must be >= 1, got {max_arity}")
     if deadline is None:
         deadline = Deadline(time_limit, "ucc")
     start = time.perf_counter()
@@ -77,6 +91,7 @@ def discover_uccs(
             schema=relation.schema,
             uccs=[attrset.EMPTY],
             elapsed_seconds=time.perf_counter() - start,
+            max_arity=max_arity,
         )
 
     singletons = [
@@ -93,15 +108,20 @@ def discover_uccs(
             schema=relation.schema,
             uccs=[],
             elapsed_seconds=time.perf_counter() - start,
+            max_arity=max_arity,
         )
 
-    result = UCCResult(schema=relation.schema, uccs=[])
+    result = UCCResult(schema=relation.schema, uccs=[], max_arity=max_arity)
     result.sampled_difference_sets = len(diff_sets)
 
     while True:
         deadline.check()
         result.rounds += 1
         candidates = minimal_hitting_sets(sorted(diff_sets), deadline)
+        if max_arity is not None:
+            candidates = [
+                c for c in candidates if attrset.count(c) <= max_arity
+            ]
         confirmed: List[AttrSet] = []
         new_evidence = False
         for candidate in candidates:
